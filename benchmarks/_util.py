@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper table/figure, prints the rendered rows
+(visible with ``pytest -s``) and persists them under
+``benchmarks/results/`` so a full run leaves an inspectable record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a rendered experiment table and save it to the results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

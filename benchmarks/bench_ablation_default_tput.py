@@ -1,0 +1,50 @@
+"""Ablation: sensitivity to the default pairwise throughput ``t`` (§4.3).
+
+The paper fixes t = 0.95; smaller values make packing more conservative
+(co-location discouraged before any observation exists).  This ablation
+sweeps t and reports Eva's normalized cost and throughput on the
+Alibaba-like trace.
+"""
+
+from _util import run_once, save_and_print
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.core.scheduler import EvaConfig, EvaScheduler
+from repro.experiments.common import scaled
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+T_VALUES = (0.99, 0.95, 0.9, 0.8, 0.6)
+
+
+def _run():
+    num_jobs = scaled(120, minimum=50, maximum=2000)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=3)
+    baseline = run_simulation(trace, NoPackingScheduler(catalog))
+    rows = []
+    for t in T_VALUES:
+        scheduler = EvaScheduler(catalog, config=EvaConfig(default_tput=t))
+        result = run_simulation(trace, scheduler)
+        rows.append(
+            (
+                t,
+                round(result.total_cost / baseline.total_cost, 3),
+                round(result.mean_normalized_tput(), 3),
+                round(result.tasks_per_instance, 2),
+            )
+        )
+    return ExperimentTable(
+        title=f"Ablation: default throughput prior t ({num_jobs} jobs)",
+        headers=("t", "Norm. Total Cost", "Norm. Throughput", "Tasks/Instance"),
+        rows=tuple(rows),
+        notes=("paper uses t = 0.95 in all experiments",),
+    )
+
+
+def bench_default_tput(benchmark):
+    table = run_once(benchmark, _run)
+    save_and_print("ablation_default_tput", table.render())
+    assert all(row[1] <= 1.05 for row in table.rows)

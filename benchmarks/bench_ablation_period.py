@@ -1,0 +1,49 @@
+"""Ablation: scheduling period sensitivity (§3 uses 5 minutes).
+
+Longer periods delay placements (jobs idle until the next round); very
+short periods react faster at the price of more reconfiguration churn.
+"""
+
+from _util import run_once, save_and_print
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.core.scheduler import EvaScheduler
+from repro.experiments.common import scaled
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+PERIODS_S = (60.0, 300.0, 900.0, 1800.0)
+
+
+def _run():
+    num_jobs = scaled(120, minimum=50, maximum=2000)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=4)
+    rows = []
+    for period in PERIODS_S:
+        baseline = run_simulation(
+            trace, NoPackingScheduler(catalog), period_s=period
+        )
+        result = run_simulation(trace, EvaScheduler(catalog), period_s=period)
+        rows.append(
+            (
+                int(period),
+                round(result.total_cost / baseline.total_cost, 3),
+                round(result.mean_idle_hours(), 3),
+                round(result.mean_jct_hours(), 2),
+            )
+        )
+    return ExperimentTable(
+        title=f"Ablation: scheduling period ({num_jobs} jobs)",
+        headers=("Period (s)", "Norm. Total Cost", "Job Idle (hours)", "JCT (hours)"),
+        rows=tuple(rows),
+        notes=("normalized to No-Packing at the same period",),
+    )
+
+
+def bench_period(benchmark):
+    table = run_once(benchmark, _run)
+    save_and_print("ablation_period", table.render())
+    assert all(row[1] < 1.1 for row in table.rows)

@@ -1,0 +1,60 @@
+"""Extension bench: JCT-aware efficiency margin (§6.3 future work).
+
+Sweeps the packing margin and reports the cost/JCT frontier: margin 0 is
+the paper's Eva; larger margins refuse thin co-locations, recovering
+throughput at higher cost, converging toward No-Packing.
+"""
+
+from _util import run_once, save_and_print
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.core.scheduler import EvaConfig, EvaScheduler
+from repro.experiments.common import scaled
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+MARGINS = (0.0, 0.1, 0.3, 1.0)
+
+
+def _run():
+    num_jobs = scaled(100, minimum=40, maximum=1500)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=13)
+    baseline = run_simulation(trace, NoPackingScheduler(catalog))
+    rows = []
+    for margin in MARGINS:
+        result = run_simulation(
+            trace,
+            EvaScheduler(catalog, config=EvaConfig(efficiency_margin=margin)),
+        )
+        rows.append(
+            (
+                margin,
+                f"{result.total_cost / baseline.total_cost * 100:.1f}%",
+                round(result.mean_normalized_tput(), 3),
+                round(result.mean_jct_hours(), 2),
+            )
+        )
+    rows.append(
+        (
+            "No-Packing",
+            "100.0%",
+            round(baseline.mean_normalized_tput(), 3),
+            round(baseline.mean_jct_hours(), 2),
+        )
+    )
+    return ExperimentTable(
+        title=f"Extension: JCT-aware efficiency margin ({num_jobs} jobs)",
+        headers=("Margin", "Norm. Total Cost", "Norm. Throughput", "JCT (hours)"),
+        rows=tuple(rows),
+    )
+
+
+def bench_margin(benchmark):
+    table = run_once(benchmark, _run)
+    save_and_print("extension_margin", table.render())
+    assert float(table.rows[0][1].rstrip("%")) <= float(
+        table.rows[-2][1].rstrip("%")
+    ) + 2.0

@@ -1,0 +1,11 @@
+"""Figure 1 bench: regenerate the pairwise co-location heatmap."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig01_interference
+
+
+def bench_fig01(benchmark):
+    table = run_once(benchmark, fig01_interference.run)
+    save_and_print("fig01_interference", table.render())
+    assert "max |measured - published| = 0.0000" in table.notes[0]

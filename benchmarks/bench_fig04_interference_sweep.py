@@ -1,0 +1,14 @@
+"""Figure 4 bench: interference sweep (Eva-RP vs Eva-TNRP vs Owl)."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig04_interference_sweep
+
+
+def bench_fig04(benchmark):
+    result = run_once(benchmark, fig04_interference_sweep.run)
+    save_and_print("fig04_interference_sweep", result.table.render())
+    # Paper shape: Eva-RP degrades sharply with interference while
+    # Eva-TNRP stays at or below No-Packing.
+    assert result.norm_cost[("Eva-RP", 0.8)] > result.norm_cost[("Eva-RP", 1.0)]
+    assert result.norm_cost[("Eva-TNRP", 0.8)] <= 1.05

@@ -1,0 +1,15 @@
+"""Figure 5 bench: migration overhead sweep."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig05_migration_sweep
+
+
+def bench_fig05(benchmark):
+    result = run_once(benchmark, fig05_migration_sweep.run)
+    save_and_print(
+        "fig05_migration_sweep",
+        result.adoption_table.render() + "\n\n" + result.cost_table.render(),
+    )
+    # Paper shape: Eva keeps winning as migration delays grow.
+    assert result.norm_cost[("Eva", 8.0)] < 1.0

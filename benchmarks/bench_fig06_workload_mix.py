@@ -1,0 +1,12 @@
+"""Figure 6 bench: multi-GPU workload composition sweep."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig06_workload_mix
+
+
+def bench_fig06(benchmark):
+    result = run_once(benchmark, fig06_workload_mix.run)
+    save_and_print("fig06_workload_mix", result.table.render())
+    for fraction in (0.0, 0.2, 0.4, 0.6):
+        assert result.norm_cost[("Eva", fraction)] <= 1.0

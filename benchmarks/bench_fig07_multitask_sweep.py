@@ -1,0 +1,12 @@
+"""Figure 7 bench: multi-task job proportion sweep."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig07_multitask_sweep
+
+
+def bench_fig07(benchmark):
+    result = run_once(benchmark, fig07_multitask_sweep.run)
+    save_and_print("fig07_multitask_sweep", result.table.render())
+    for fraction in (0.0, 0.2, 0.4, 0.6):
+        assert result.norm_cost[("Eva", fraction)] < 1.0

@@ -1,0 +1,12 @@
+"""Figure 8 bench: job arrival rate sweep."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import fig08_arrival_rate
+
+
+def bench_fig08(benchmark):
+    result = run_once(benchmark, fig08_arrival_rate.run)
+    save_and_print("fig08_arrival_rate", result.table.render())
+    for rate in (0.5, 3.0):
+        assert result.norm_cost[("Eva", rate)] < 1.0

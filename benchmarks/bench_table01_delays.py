@@ -1,0 +1,11 @@
+"""Table 1 bench: reconfiguration delay model statistics."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table01_delays
+
+
+def bench_table01(benchmark):
+    table = run_once(benchmark, table01_delays.run)
+    save_and_print("table01_delays", table.render())
+    assert len(table.rows) == 4

@@ -1,0 +1,13 @@
+"""Table 4 bench: No-Packing vs Full Reconfiguration vs ILP."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table04_microbench
+
+
+def bench_table04(benchmark):
+    result = run_once(benchmark, table04_microbench.run)
+    save_and_print("table04_microbench", result.table.render())
+    # Paper shape: No-Packing ~1.56x, Full Reconfig ~1.01x of best-found.
+    assert result.no_packing_norm[0] > result.full_reconfig_norm[0]
+    assert result.full_reconfig_norm[0] < 1.1

@@ -1,0 +1,12 @@
+"""Table 5 bench: Full Reconfiguration runtime scaling."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table05_runtime
+
+
+def bench_table05(benchmark):
+    table = run_once(benchmark, table05_runtime.run)
+    save_and_print("table05_runtime", table.render())
+    grouped = [r for r in table.rows if r[0] == "grouped"]
+    assert grouped, "grouped runtime rows missing"

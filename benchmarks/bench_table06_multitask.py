@@ -1,0 +1,14 @@
+"""Table 6 bench: Eva-Single vs Eva-Multi on multi-task jobs."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table06_multitask
+
+
+def bench_table06(benchmark):
+    result = run_once(benchmark, table06_multitask.run)
+    save_and_print("table06_multitask", result.table.render())
+    # Paper shape: both Eva variants beat No-Packing; Eva-Multi has JCT
+    # no worse than Eva-Single.
+    assert result.norm_costs["Eva-Multi"][0] < 1.0
+    assert result.norm_costs["Eva-Single"][0] < 1.0

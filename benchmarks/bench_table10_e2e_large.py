@@ -1,0 +1,14 @@
+"""Table 10 + Figure 3 bench: 120-job end-to-end experiment."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table10_e2e_large
+
+
+def bench_table10(benchmark):
+    result = run_once(benchmark, table10_e2e_large.run)
+    save_and_print(
+        "table10_e2e_large",
+        result.table.render() + "\n\n" + result.uptime_cdf_text,
+    )
+    assert result.comparison.normalized_cost("Eva") < 1.0

@@ -1,0 +1,15 @@
+"""Table 11 bench: 32-job end-to-end experiment, all five schedulers."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table11_e2e_small
+
+
+def bench_table11(benchmark):
+    result = run_once(benchmark, table11_e2e_small.run)
+    save_and_print("table11_e2e_small", result.table.render())
+    norm = {
+        name: result.comparison.normalized_cost(name)
+        for name in result.comparison.results
+    }
+    assert norm["Eva"] == min(norm.values())

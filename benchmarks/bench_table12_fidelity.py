@@ -1,0 +1,13 @@
+"""Table 12 bench: deterministic simulation vs stochastic proxy."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table12_fidelity
+
+
+def bench_table12(benchmark):
+    result = run_once(benchmark, table12_fidelity.run)
+    save_and_print("table12_fidelity", result.table.render())
+    # Paper reports <5% actual-vs-simulated gaps; allow modest slack for
+    # the stochastic proxy.
+    assert result.max_abs_difference < 0.10

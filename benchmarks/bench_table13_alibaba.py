@@ -1,0 +1,17 @@
+"""Table 13 bench: Alibaba-duration end-to-end simulation."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table13_alibaba
+
+
+def bench_table13(benchmark):
+    result = run_once(benchmark, table13_alibaba.run)
+    save_and_print("table13_alibaba", result.table.render())
+    norm = {
+        name: result.comparison.normalized_cost(name)
+        for name in result.comparison.results
+    }
+    # Paper shape: every packing scheduler beats No-Packing; Eva wins.
+    assert norm["Eva"] == min(norm.values())
+    assert norm["Eva"] < 0.9

@@ -1,0 +1,15 @@
+"""Table 14 bench: Gavel-duration end-to-end simulation."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table14_gavel
+
+
+def bench_table14(benchmark):
+    result = run_once(benchmark, table14_gavel.run)
+    save_and_print("table14_gavel", result.table.render())
+    norm = {
+        name: result.comparison.normalized_cost(name)
+        for name in result.comparison.results
+    }
+    assert norm["Eva"] == min(norm.values())

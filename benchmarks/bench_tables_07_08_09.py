@@ -1,0 +1,21 @@
+"""Tables 7/8/9 bench: workload and trace-statistics renders."""
+
+from _util import run_once, save_and_print
+
+from repro.experiments import table07_workloads
+
+
+def bench_table07(benchmark):
+    table = run_once(benchmark, table07_workloads.run_table7)
+    save_and_print("table07_workloads", table.render())
+    assert len(table.rows) == 10
+
+
+def bench_table08(benchmark):
+    table = run_once(benchmark, table07_workloads.run_table8)
+    save_and_print("table08_gpu_mix", table.render())
+
+
+def bench_table09(benchmark):
+    table = run_once(benchmark, table07_workloads.run_table9)
+    save_and_print("table09_durations", table.render())

@@ -1,0 +1,66 @@
+"""Interference study: why cost-efficiency needs throughput awareness.
+
+Reproduces the Figure 4 narrative at example scale: as co-location
+interference grows, an interference-blind packer (Eva-RP) packs itself
+into longer runtimes and *higher* total cost, while the full scheduler
+(Eva-TNRP) backs off packing exactly when it stops paying for itself,
+degrading gracefully toward the No-Packing baseline.
+
+Run:  python examples/interference_study.py
+"""
+
+from repro import NoPackingScheduler, ec2_catalog, run_simulation
+from repro.analysis.reporting import render_table
+from repro.core.scheduler import make_eva_variant
+from repro.interference.model import InterferenceModel
+from repro.workloads import synthesize_alibaba_trace
+
+LEVELS = (1.0, 0.9, 0.8)
+
+
+def main() -> None:
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(120, seed=1)
+    rows = []
+    for level in LEVELS:
+        interference = InterferenceModel(uniform_value=level)
+        baseline = run_simulation(
+            trace, NoPackingScheduler(catalog), interference=interference
+        )
+        for variant in ("eva-rp", "eva-tnrp"):
+            scheduler = make_eva_variant(catalog, variant)
+            result = run_simulation(trace, scheduler, interference=interference)
+            rows.append(
+                (
+                    f"{level:.2f}",
+                    scheduler.name,
+                    f"{result.total_cost / baseline.total_cost * 100:.1f}%",
+                    round(result.mean_normalized_tput(), 3),
+                    round(result.mean_jct_hours(), 2),
+                    round(result.tasks_per_instance, 2),
+                )
+            )
+    print(
+        render_table(
+            "Packing under increasing co-location interference "
+            "(cost normalized to No-Packing)",
+            (
+                "Pairwise Tput",
+                "Scheduler",
+                "Norm. Cost",
+                "Job Tput",
+                "JCT (h)",
+                "Tasks/Inst",
+            ),
+            rows,
+            notes=(
+                "Eva-RP ignores interference and packs regardless; "
+                "Eva-TNRP packs only when throughput-normalized value "
+                "covers the instance cost",
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — a reproduction of *Eva: Cost-Efficient Cloud-Based Cluster
+Scheduling* (Chang & Venkataraman, EuroSys 2025).
+
+Quick tour of the public API:
+
+>>> from repro import (
+...     ec2_catalog, EvaScheduler, NoPackingScheduler,
+...     synthetic_trace, run_simulation,
+... )
+>>> catalog = ec2_catalog()
+>>> trace = synthetic_trace(num_jobs=8, seed=0)
+>>> result = run_simulation(trace, EvaScheduler(catalog))
+>>> result.total_cost > 0
+True
+
+Sub-packages:
+
+* :mod:`repro.core` — Eva's scheduling algorithms (§4).
+* :mod:`repro.cluster` — resource/task/instance substrate.
+* :mod:`repro.cloud` — simulated EC2 (catalog, delays, billing).
+* :mod:`repro.interference` — Figure-1 co-location model.
+* :mod:`repro.workloads` — Table-7 workloads and trace generators.
+* :mod:`repro.baselines` — No-Packing, Stratus, Synergy, Owl.
+* :mod:`repro.sim` — discrete-event simulator and metrics.
+* :mod:`repro.runtime` — master–worker deployment runtime.
+* :mod:`repro.experiments` — drivers for every paper table/figure.
+"""
+
+from repro.baselines import (
+    NoPackingScheduler,
+    OwlScheduler,
+    StratusScheduler,
+    SynergyScheduler,
+)
+from repro.cloud import DelayModel, SimulatedCloud, ec2_catalog, paper_example_catalog
+from repro.cluster import (
+    Instance,
+    InstanceType,
+    Job,
+    ResourceVector,
+    Task,
+    make_job,
+)
+from repro.core import (
+    EvaConfig,
+    EvaScheduler,
+    ReservationPriceCalculator,
+    Scheduler,
+    full_reconfiguration,
+    ilp_schedule,
+    make_eva_variant,
+    partial_reconfiguration,
+)
+from repro.interference import InterferenceModel
+from repro.sim import ClusterSimulator, SimulationResult, run_simulation
+from repro.workloads import (
+    Trace,
+    synthesize_alibaba_trace,
+    synthetic_trace,
+    workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NoPackingScheduler",
+    "OwlScheduler",
+    "StratusScheduler",
+    "SynergyScheduler",
+    "DelayModel",
+    "SimulatedCloud",
+    "ec2_catalog",
+    "paper_example_catalog",
+    "Instance",
+    "InstanceType",
+    "Job",
+    "ResourceVector",
+    "Task",
+    "make_job",
+    "EvaConfig",
+    "EvaScheduler",
+    "ReservationPriceCalculator",
+    "Scheduler",
+    "full_reconfiguration",
+    "ilp_schedule",
+    "make_eva_variant",
+    "partial_reconfiguration",
+    "InterferenceModel",
+    "ClusterSimulator",
+    "SimulationResult",
+    "run_simulation",
+    "Trace",
+    "synthesize_alibaba_trace",
+    "synthetic_trace",
+    "workload",
+    "__version__",
+]

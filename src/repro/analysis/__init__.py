@@ -1,0 +1,26 @@
+"""Reporting and comparison utilities for experiment outputs."""
+
+from repro.analysis.charts import line_chart, sweep_chart
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_schedulers,
+    standard_scheduler_factories,
+)
+from repro.analysis.reporting import (
+    ExperimentTable,
+    percent,
+    render_cdf,
+    render_table,
+)
+
+__all__ = [
+    "line_chart",
+    "sweep_chart",
+    "ComparisonResult",
+    "compare_schedulers",
+    "standard_scheduler_factories",
+    "ExperimentTable",
+    "percent",
+    "render_cdf",
+    "render_table",
+]

@@ -1,0 +1,126 @@
+"""ASCII charts for figure-style experiment outputs.
+
+The paper's Figures 4–8 are line charts (normalized cost vs a swept
+parameter, one series per scheduler).  This module renders the same
+series as terminal plots so sweep results can be eyeballed without a
+plotting stack:
+
+>>> print(line_chart(
+...     "demo",
+...     x_values=[1, 2, 3],
+...     series={"Eva": [0.9, 0.8, 0.7]},
+...     y_label="norm cost",
+... ))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Marker characters assigned to series in insertion order.
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    """Map ``value`` in [lo, hi] onto 0..steps (clamped)."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps, max(0, round(frac * steps)))
+
+
+def line_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values as an ASCII plot.
+
+    Args:
+        title: Chart heading.
+        x_values: Swept parameter values (ascending or descending).
+        series: name → y-values, one per x-value.
+        width: Plot-area columns.
+        height: Plot-area rows.
+        y_label: Y-axis caption.
+    """
+    if not x_values:
+        raise ValueError("x_values must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x-values"
+            )
+    if not series:
+        raise ValueError("need at least one series")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:  # flat chart: pad the range so the line is visible
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    x_lo, x_hi = min(x_values), max(x_values)
+
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(x_values, ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = [title, "=" * len(title)]
+    label = f"{y_label} " if y_label else ""
+    top = f"{y_hi:8.3f} |"
+    bottom = f"{y_lo:8.3f} |"
+    margin = " " * len(top)
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top
+        elif row_idx == height:
+            prefix = bottom
+        else:
+            prefix = margin[:-1] + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(margin[:-1] + "+" + "-" * (width + 1))
+    lines.append(
+        margin + f"{x_lo:<12g}{'':^{max(0, width - 24)}}{x_hi:>12g}"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(margin + legend)
+    if y_label:
+        lines.insert(2, f"  y: {y_label}")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    title: str,
+    norm_cost: Mapping[tuple[str, float], float],
+    y_label: str = "normalized total cost",
+) -> str:
+    """Chart a ``{(scheduler, x): cost}`` sweep result (Figures 4–8).
+
+    The x-axis is the swept parameter; one series per scheduler, ordered
+    by first appearance.
+    """
+    if not norm_cost:
+        raise ValueError("empty sweep result")
+    schedulers: list[str] = []
+    xs: list[float] = []
+    for scheduler, x in norm_cost:
+        if scheduler not in schedulers:
+            schedulers.append(scheduler)
+        if x not in xs:
+            xs.append(x)
+    xs.sort()
+    series = {
+        scheduler: [norm_cost[(scheduler, x)] for x in xs]
+        for scheduler in schedulers
+        if all((scheduler, x) in norm_cost for x in xs)
+    }
+    return line_chart(title, xs, series, y_label=y_label)

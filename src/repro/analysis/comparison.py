@@ -1,0 +1,145 @@
+"""Multi-scheduler comparison harness.
+
+The evaluation repeatedly runs the same trace under several schedulers and
+reports costs normalized against No-Packing (§6.1 "Metrics").  This module
+packages that loop, including fresh-scheduler construction per run (the
+schedulers are stateful learners) and the standard end-to-end table shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.reporting import ExperimentTable, percent
+from repro.baselines import (
+    NoPackingScheduler,
+    OwlScheduler,
+    StratusScheduler,
+    SynergyScheduler,
+)
+from repro.cloud.delays import DelayModel
+from repro.cluster.instance import InstanceType
+from repro.core.interfaces import Scheduler
+from repro.core.scheduler import EvaScheduler
+from repro.interference.model import InterferenceModel
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import DEFAULT_PERIOD_S, run_simulation
+from repro.workloads.trace import Trace
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+def standard_scheduler_factories(
+    catalog: Sequence[InstanceType],
+    interference: InterferenceModel | None = None,
+    delay_model: DelayModel | None = None,
+) -> dict[str, SchedulerFactory]:
+    """The five evaluation schedulers, freshly constructed per run.
+
+    Owl receives the ground-truth pairwise profile (§6.1 provides the
+    co-location profile exclusively to Owl).
+    """
+    profile = interference or InterferenceModel()
+    return {
+        "No-Packing": lambda: NoPackingScheduler(catalog),
+        "Stratus": lambda: StratusScheduler(catalog),
+        "Synergy": lambda: SynergyScheduler(catalog),
+        "Owl": lambda: OwlScheduler(catalog, profile=profile),
+        "Eva": lambda: EvaScheduler(catalog, delay_model=delay_model),
+    }
+
+
+@dataclass
+class ComparisonResult:
+    """Results of one trace under several schedulers."""
+
+    trace_name: str
+    results: dict[str, SimulationResult]
+    baseline_name: str = "No-Packing"
+
+    def normalized_cost(self, name: str) -> float:
+        return self.results[name].total_cost / self.results[self.baseline_name].total_cost
+
+    def end_to_end_table(self, title: str) -> ExperimentTable:
+        """The Table 13/14-shaped summary."""
+        rows = []
+        for name, res in self.results.items():
+            rows.append(
+                (
+                    name,
+                    round(res.total_cost, 2),
+                    percent(self.normalized_cost(name)),
+                    round(res.tasks_per_instance, 2),
+                    round(res.mean_normalized_tput(), 2),
+                    round(res.mean_jct_hours(), 2),
+                    round(res.mean_idle_hours(), 2),
+                )
+            )
+        return ExperimentTable(
+            title=title,
+            headers=(
+                "Scheduler",
+                "Total Cost ($)",
+                "Norm. Cost",
+                "Tasks/Instance",
+                "Norm. Job Tput",
+                "JCT (hours)",
+                "Job Idle (hours)",
+            ),
+            rows=tuple(rows),
+        )
+
+    def allocation_table(self, title: str) -> ExperimentTable:
+        """The Table 10/11-shaped summary with resource allocation."""
+        rows = []
+        for name, res in self.results.items():
+            rows.append(
+                (
+                    name,
+                    round(res.total_cost, 2),
+                    percent(self.normalized_cost(name)),
+                    res.instances_launched,
+                    round(res.migrations_per_task(), 2),
+                    percent(res.allocation["gpus"]),
+                    percent(res.allocation["cpus"]),
+                    percent(res.allocation["ram_gb"]),
+                )
+            )
+        return ExperimentTable(
+            title=title,
+            headers=(
+                "Scheduler",
+                "Total Cost ($)",
+                "Norm. Cost",
+                "Instances",
+                "Migr./Task",
+                "GPU Alloc",
+                "CPU Alloc",
+                "RAM Alloc",
+            ),
+            rows=tuple(rows),
+        )
+
+
+def compare_schedulers(
+    trace: Trace,
+    factories: dict[str, SchedulerFactory],
+    interference: InterferenceModel | None = None,
+    delay_model: DelayModel | None = None,
+    period_s: float = DEFAULT_PERIOD_S,
+    validate: bool = False,
+) -> ComparisonResult:
+    """Run ``trace`` under every scheduler factory and bundle the results."""
+    results: dict[str, SimulationResult] = {}
+    for name, factory in factories.items():
+        scheduler = factory()
+        results[name] = run_simulation(
+            trace,
+            scheduler,
+            interference=interference,
+            delay_model=delay_model,
+            period_s=period_s,
+            validate=validate,
+        )
+    return ComparisonResult(trace_name=trace.name, results=results)

@@ -1,0 +1,98 @@
+"""Plain-text table and CDF rendering for experiment outputs.
+
+Every experiment driver returns an :class:`ExperimentTable`; benchmarks
+and examples print them with :func:`render_table`, producing the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """A titled table of experiment results."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: tuple[str, ...] = field(default=())
+
+    def column(self, name: str) -> list:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.title, self.headers, self.rows, self.notes)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned, boxed plain-text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(w) for v, w in zip(values, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, "=" * len(title), line(headers), sep]
+    out.extend(line(row) for row in cells)
+    for note in notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+def render_cdf(
+    title: str,
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    points: int = 10,
+) -> str:
+    """Render CDF series (e.g. Figure 3's instance uptimes) as rows.
+
+    Each series is (x values, cumulative fractions); the output samples
+    ``points`` quantile levels per series.
+    """
+    headers = ("series",) + tuple(f"p{int(q * 100)}" for q in _quantiles(points))
+    rows = []
+    for name, (xs, ys) in series.items():
+        if len(xs) == 0:
+            rows.append((name,) + ("-",) * points)
+            continue
+        values = tuple(
+            float(np.interp(q, ys, xs)) for q in _quantiles(points)
+        )
+        rows.append((name,) + values)
+    return render_table(title, headers, rows)
+
+
+def _quantiles(points: int) -> tuple[float, ...]:
+    return tuple(np.linspace(0.1, 1.0, points))
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percent string (0.754 → '75.4%')."""
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,17 @@
+"""Baseline schedulers from the paper's evaluation (§6.1)."""
+
+from repro.baselines.base import OpenInstance, ReactiveScheduler
+from repro.baselines.no_packing import NoPackingScheduler
+from repro.baselines.owl import OwlScheduler
+from repro.baselines.stratus import StratusScheduler, runtime_bin
+from repro.baselines.synergy import SynergyScheduler
+
+__all__ = [
+    "OpenInstance",
+    "ReactiveScheduler",
+    "NoPackingScheduler",
+    "OwlScheduler",
+    "StratusScheduler",
+    "runtime_bin",
+    "SynergyScheduler",
+]

@@ -1,0 +1,131 @@
+"""Shared machinery for the reactive baseline schedulers (§6.1).
+
+All four baselines are *reactive*: they keep every existing assignment,
+place newly arrived (queued) tasks each round, and never migrate.  The
+differences live entirely in :meth:`ReactiveScheduler.choose_placement`.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.instance import Instance, InstanceType, fresh_instance
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import ClusterSnapshot, TargetConfiguration
+from repro.cluster.task import Task
+from repro.core.interfaces import Scheduler
+from repro.core.reservation_price import ReservationPriceCalculator
+
+
+@dataclass
+class OpenInstance:
+    """A live instance viewed as a mutable bin during one round."""
+
+    instance: Instance
+    tasks: list[Task]
+
+    @property
+    def instance_type(self) -> InstanceType:
+        return self.instance.instance_type
+
+    @property
+    def hourly_cost(self) -> float:
+        return self.instance.hourly_cost
+
+    def used(self) -> ResourceVector:
+        family = self.instance_type.family
+        return ResourceVector.sum(t.demand_for(family) for t in self.tasks)
+
+    def remaining(self) -> ResourceVector:
+        return self.instance_type.capacity - self.used()
+
+    def fits(self, task: Task) -> bool:
+        return task.demand_for(self.instance_type.family).fits_within(
+            self.remaining()
+        )
+
+    def add(self, task: Task) -> None:
+        self.tasks.append(task)
+
+
+class ReactiveScheduler(Scheduler):
+    """Keep-everything, place-new-tasks scheduling skeleton."""
+
+    def __init__(self, catalog: Sequence[InstanceType]):
+        self.catalog = [it for it in catalog if not it.is_ghost]
+        self.rp_calculator = ReservationPriceCalculator(self.catalog)
+
+    # -- subclass hooks ----------------------------------------------------
+    @abstractmethod
+    def choose_placement(
+        self,
+        task: Task,
+        open_instances: list[OpenInstance],
+        snapshot: ClusterSnapshot,
+    ) -> OpenInstance | InstanceType:
+        """Pick an existing instance or an instance type to launch."""
+
+    def placement_order(
+        self, tasks: list[Task], snapshot: ClusterSnapshot
+    ) -> list[Task]:
+        """Order in which queued tasks are placed (default: by RP desc)."""
+        return sorted(
+            tasks, key=lambda t: (-self.rp_calculator.rp(t), t.task_id)
+        )
+
+    def release_inefficient(
+        self, open_instances: list[OpenInstance], snapshot: ClusterSnapshot
+    ) -> list[Task]:
+        """Right-sizing hook: remove no-longer-worthwhile instances from
+        ``open_instances`` and return their tasks for re-placement.
+
+        The default keeps everything (No-Packing and Stratus never
+        migrate); Synergy overrides this (see its module docstring).
+        """
+        return []
+
+    # -- Scheduler contract -------------------------------------------------
+    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+        open_instances = [
+            OpenInstance(
+                instance=state.instance,
+                tasks=[snapshot.tasks[tid] for tid in state.task_ids],
+            )
+            for state in snapshot.instances
+        ]
+        to_place = snapshot.unassigned_tasks()
+        to_place.extend(self.release_inefficient(open_instances, snapshot))
+        for task in self.placement_order(to_place, snapshot):
+            choice = self.choose_placement(task, open_instances, snapshot)
+            if isinstance(choice, OpenInstance):
+                if not choice.fits(task):
+                    raise ValueError(
+                        f"{self.name}: chose instance {choice.instance.instance_id} "
+                        f"without capacity for {task.task_id}"
+                    )
+                choice.add(task)
+            else:
+                opened = OpenInstance(instance=fresh_instance(choice), tasks=[task])
+                open_instances.append(opened)
+        return TargetConfiguration.from_pairs(
+            (oi.instance, (t.task_id for t in oi.tasks)) for oi in open_instances
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def cheapest_type_for(self, task: Task) -> InstanceType:
+        """The task's reservation-price type (cheapest feasible)."""
+        return self.rp_calculator.rp_type(task)
+
+    def cheapest_type_for_pair(
+        self, a: Task, b: Task
+    ) -> InstanceType | None:
+        """Cheapest type that can host both tasks together, if any."""
+        best: InstanceType | None = None
+        for itype in self.catalog:
+            demand = a.demand_for(itype.family) + b.demand_for(itype.family)
+            if demand.fits_within(itype.capacity):
+                if best is None or itype.hourly_cost < best.hourly_cost:
+                    best = itype
+        return best

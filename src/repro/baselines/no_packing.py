@@ -1,0 +1,33 @@
+"""No-Packing baseline (§6.1).
+
+Each task is hosted on its own cheapest feasible instance — no
+co-location, hence no interference and no migrations.  This is the
+strategy of most existing cloud-based cluster managers and the
+normalization baseline for every cost comparison in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.instance import InstanceType
+from repro.cluster.state import ClusterSnapshot
+from repro.cluster.task import Task
+from repro.baselines.base import OpenInstance, ReactiveScheduler
+
+
+class NoPackingScheduler(ReactiveScheduler):
+    """One task per instance, on the task's reservation-price type."""
+
+    name = "No-Packing"
+
+    def __init__(self, catalog: Sequence[InstanceType]):
+        super().__init__(catalog)
+
+    def choose_placement(
+        self,
+        task: Task,
+        open_instances: list[OpenInstance],
+        snapshot: ClusterSnapshot,
+    ) -> OpenInstance | InstanceType:
+        return self.cheapest_type_for(task)

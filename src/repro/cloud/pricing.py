@@ -1,0 +1,109 @@
+"""Billing and cost accounting.
+
+Instances accrue cost from the moment the launch request is issued until
+termination, at per-second granularity (AWS Linux on-demand billing).  This
+makes acquisition/setup delays *paid but idle* time, which is exactly the
+overhead §2.3 argues a scheduler must weigh against provisioning savings.
+
+:class:`BillingLedger` tracks per-instance uptime and cost, and exposes the
+aggregate statistics the evaluation reports: total cost, instances
+launched, and the instance-uptime distribution (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.instance import InstanceType
+
+
+@dataclass
+class BillingRecord:
+    """Lifetime and cost of one provisioned instance.
+
+    ``hourly_rate`` defaults to the type's on-demand price; spot launches
+    record a discounted rate instead.
+    """
+
+    instance_id: str
+    instance_type: InstanceType
+    launch_time_s: float
+    termination_time_s: float | None = None
+    hourly_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.hourly_rate is None:
+            self.hourly_rate = self.instance_type.hourly_cost
+
+    def uptime_s(self, now_s: float) -> float:
+        end = self.termination_time_s if self.termination_time_s is not None else now_s
+        return max(0.0, end - self.launch_time_s)
+
+    def cost(self, now_s: float) -> float:
+        return self.uptime_s(now_s) * self.hourly_rate / 3600.0
+
+    @property
+    def is_active(self) -> bool:
+        return self.termination_time_s is None
+
+
+@dataclass
+class BillingLedger:
+    """Tracks launches, terminations, uptimes, and dollar cost."""
+
+    records: dict[str, BillingRecord] = field(default_factory=dict)
+
+    def on_launch(
+        self,
+        instance_id: str,
+        instance_type: InstanceType,
+        time_s: float,
+        hourly_rate: float | None = None,
+    ) -> None:
+        if instance_id in self.records:
+            raise ValueError(f"instance {instance_id} already launched")
+        self.records[instance_id] = BillingRecord(
+            instance_id=instance_id,
+            instance_type=instance_type,
+            launch_time_s=time_s,
+            hourly_rate=hourly_rate,
+        )
+
+    def on_terminate(self, instance_id: str, time_s: float) -> None:
+        record = self.records[instance_id]
+        if record.termination_time_s is not None:
+            raise ValueError(f"instance {instance_id} already terminated")
+        if time_s < record.launch_time_s:
+            raise ValueError(
+                f"termination time {time_s} precedes launch {record.launch_time_s}"
+            )
+        record.termination_time_s = time_s
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_cost(self, now_s: float) -> float:
+        """Dollar cost accrued by all instances up to ``now_s``."""
+        return sum(r.cost(now_s) for r in self.records.values())
+
+    def instances_launched(self) -> int:
+        return len(self.records)
+
+    def active_instance_ids(self) -> list[str]:
+        return [iid for iid, r in self.records.items() if r.is_active]
+
+    def active_hourly_cost(self) -> float:
+        """Instantaneous $/hr burn rate of currently active instances."""
+        return sum(r.hourly_rate or 0.0 for r in self.records.values() if r.is_active)
+
+    def uptimes_hours(self, now_s: float) -> list[float]:
+        """Per-instance uptimes in hours (the Figure 3 distribution)."""
+        return [r.uptime_s(now_s) / 3600.0 for r in self.records.values()]
+
+    def cost_by_family(self, now_s: float) -> dict[str, float]:
+        """Cost split by instance family — useful for cost-breakdown reports."""
+        totals: dict[str, float] = {}
+        for r in self.records.values():
+            family = r.instance_type.family
+            totals[family] = totals.get(family, 0.0) + r.cost(now_s)
+        return totals

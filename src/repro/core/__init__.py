@@ -1,0 +1,85 @@
+"""Eva's core contribution: reservation-price scheduling (§4)."""
+
+from repro.core.ensemble import (
+    EnsemblePolicy,
+    PoissonEventEstimator,
+    ReconfigDecision,
+    mean_time_to_full_reconfig_hours,
+    migration_cost,
+    provisioning_saving,
+)
+from repro.core.evaluation import (
+    AssignmentEvaluator,
+    PackState,
+    RPEvaluator,
+    TNRPEvaluator,
+)
+from repro.core.full_reconfig import (
+    PackedInstance,
+    configuration_cost,
+    full_reconfiguration,
+    match_existing_instances,
+    packing_summary,
+)
+from repro.core.heterogeneous import (
+    FamilySpeedProfile,
+    HeterogeneousEvaluator,
+    HeterogeneousRPCalculator,
+    heterogeneous_full_reconfiguration,
+)
+from repro.core.ilp import ILPResult, ilp_schedule
+from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.monitor import ThroughputMonitor
+from repro.core.partial_reconfig import (
+    PartialReconfigResult,
+    partial_reconfiguration,
+)
+from repro.core.reservation_price import (
+    InfeasibleTaskError,
+    ReservationPriceCalculator,
+    no_packing_cost,
+)
+from repro.core.scheduler import EvaConfig, EvaScheduler, make_eva_variant
+from repro.core.throughput_table import (
+    DEFAULT_PAIRWISE_TPUT,
+    CoLocationThroughputTable,
+    TaskPlacementObservation,
+)
+
+__all__ = [
+    "EnsemblePolicy",
+    "PoissonEventEstimator",
+    "ReconfigDecision",
+    "mean_time_to_full_reconfig_hours",
+    "migration_cost",
+    "provisioning_saving",
+    "AssignmentEvaluator",
+    "PackState",
+    "RPEvaluator",
+    "TNRPEvaluator",
+    "PackedInstance",
+    "configuration_cost",
+    "full_reconfiguration",
+    "match_existing_instances",
+    "packing_summary",
+    "FamilySpeedProfile",
+    "HeterogeneousEvaluator",
+    "HeterogeneousRPCalculator",
+    "heterogeneous_full_reconfiguration",
+    "ILPResult",
+    "ilp_schedule",
+    "JobThroughputReport",
+    "Scheduler",
+    "ThroughputMonitor",
+    "PartialReconfigResult",
+    "partial_reconfiguration",
+    "InfeasibleTaskError",
+    "ReservationPriceCalculator",
+    "no_packing_cost",
+    "EvaConfig",
+    "EvaScheduler",
+    "make_eva_variant",
+    "DEFAULT_PAIRWISE_TPUT",
+    "CoLocationThroughputTable",
+    "TaskPlacementObservation",
+]

@@ -1,0 +1,256 @@
+"""Assignment-value evaluators: RP (§4.2) and TNRP (§4.3–§4.4).
+
+Algorithm 1 is written against an abstract *assignment evaluator*: given a
+set of tasks destined for one instance, return the set's value in $/hr.
+Comparing that value against the instance's hourly cost is the
+cost-efficiency criterion.
+
+* :class:`RPEvaluator` values a set at its total reservation price —
+  interference-blind ("Eva-RP").
+* :class:`TNRPEvaluator` values each task at its throughput-normalized
+  reservation price using the co-location throughput table, optionally
+  with the §4.4 multi-task job extension ("Eva-TNRP" / "Eva-Multi").
+
+Evaluators also expose an incremental :class:`PackState` so Algorithm 1's
+inner ``argmax RP(T ∪ {τ'})`` runs in O(|T|) per candidate instead of
+O(|T|²); the TNRP state falls back to an exact recomputation whenever the
+throughput table holds exact-set entries that a pure pairwise-product
+increment would miss.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster.task import Job, Task
+from repro.core.reservation_price import ReservationPriceCalculator, _demand_signature
+from repro.core.throughput_table import CoLocationThroughputTable
+
+
+class PackState(ABC):
+    """Incremental evaluation of one instance's tentative task set ``T``."""
+
+    @property
+    @abstractmethod
+    def value(self) -> float:
+        """Current value of the set (0.0 when empty)."""
+
+    @abstractmethod
+    def value_with(self, task: Task) -> float:
+        """Value of ``T ∪ {task}`` without mutating the state."""
+
+    @abstractmethod
+    def add(self, task: Task) -> None:
+        """Commit ``task`` into the set."""
+
+
+class AssignmentEvaluator(ABC):
+    """Values a prospective tasks-to-instance assignment in $/hr."""
+
+    @abstractmethod
+    def task_rp(self, task: Task) -> float:
+        """Reservation price of a single task."""
+
+    @abstractmethod
+    def set_value(self, tasks: Sequence[Task]) -> float:
+        """Value of assigning ``tasks`` together to one instance."""
+
+    @abstractmethod
+    def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
+        """Incremental state seeded with ``tasks``."""
+
+    def group_key(self, task: Task) -> tuple:
+        """Tasks with equal keys are interchangeable under this evaluator.
+
+        Used by Algorithm 1's ``group_identical`` optimization: the inner
+        argmax evaluates one representative per group.
+        """
+        return (task.workload, _demand_signature(task))
+
+    def is_cost_efficient(self, tasks: Sequence[Task], hourly_cost: float) -> bool:
+        """§4.2/§4.3 criterion: set value must cover the instance's cost."""
+        return self.set_value(tasks) >= hourly_cost - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Plain reservation price
+# ----------------------------------------------------------------------
+
+
+class _RPPackState(PackState):
+    def __init__(self, evaluator: "RPEvaluator", tasks: Sequence[Task]):
+        self._evaluator = evaluator
+        self._value = sum(evaluator.task_rp(t) for t in tasks)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def value_with(self, task: Task) -> float:
+        return self._value + self._evaluator.task_rp(task)
+
+    def add(self, task: Task) -> None:
+        self._value += self._evaluator.task_rp(task)
+
+
+@dataclass
+class RPEvaluator(AssignmentEvaluator):
+    """Plain reservation price: ``RP(T) = Σ RP(τ)`` (interference-blind)."""
+
+    calculator: ReservationPriceCalculator
+
+    def task_rp(self, task: Task) -> float:
+        return self.calculator.rp(task)
+
+    def set_value(self, tasks: Sequence[Task]) -> float:
+        return self.calculator.rp_of_set(tasks)
+
+    def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
+        return _RPPackState(self, tasks)
+
+
+# ----------------------------------------------------------------------
+# Throughput-normalized reservation price
+# ----------------------------------------------------------------------
+
+
+class _TNRPPackState(PackState):
+    """Incremental TNRP of a tentative set.
+
+    Maintains, per member, the current throughput estimate.  Adding a
+    candidate multiplies each member's throughput by the pairwise entry
+    against the candidate's workload — valid exactly when no exact-set
+    table entries could apply, which the state checks per operation.
+    """
+
+    def __init__(self, evaluator: "TNRPEvaluator", tasks: Sequence[Task]):
+        self._ev = evaluator
+        self._members: list[Task] = []
+        self._tputs: list[float] = []
+        self._workloads: list[str] = []
+        self._value = 0.0
+        for task in tasks:
+            self.add(task)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _member_tnrp(self, task: Task, tput: float) -> float:
+        return self._ev.tnrp_from_tput(task, tput)
+
+    def _fast_path(self) -> bool:
+        """Pairwise increments are exact iff the table has no exact-set
+        entries for sets larger than a pair (pairs are the pairwise store
+        itself)."""
+        return not self._ev.table.has_large_exact_entries()
+
+    def value_with(self, task: Task) -> float:
+        if not self._members:
+            return self._member_tnrp(task, 1.0)
+        if not self._fast_path():
+            return self._ev.set_value(self._members + [task])
+        total = 0.0
+        w_new = task.workload
+        tput_new = 1.0
+        for member, tput, w in zip(self._members, self._tputs, self._workloads):
+            total += self._member_tnrp(member, tput * self._ev.table.pairwise(w, w_new))
+            tput_new *= self._ev.table.pairwise(w_new, w)
+        total += self._member_tnrp(task, tput_new)
+        return total
+
+    def add(self, task: Task) -> None:
+        if self._fast_path() or not self._members:
+            w_new = task.workload
+            tput_new = 1.0
+            for idx, w in enumerate(self._workloads):
+                self._tputs[idx] *= self._ev.table.pairwise(w, w_new)
+                tput_new *= self._ev.table.pairwise(w_new, w)
+            self._members.append(task)
+            self._workloads.append(w_new)
+            self._tputs.append(tput_new)
+        else:
+            self._members.append(task)
+            self._workloads.append(task.workload)
+            self._tputs = [
+                self._ev.table.tput(
+                    t.workload, self._workloads[:i] + self._workloads[i + 1 :]
+                )
+                for i, t in enumerate(self._members)
+            ]
+        self._value = sum(
+            self._member_tnrp(m, tp) for m, tp in zip(self._members, self._tputs)
+        )
+
+
+@dataclass
+class TNRPEvaluator(AssignmentEvaluator):
+    """Throughput-normalized reservation price (§4.3, §4.4).
+
+    For a task τ in set T with estimated throughput ``tput``:
+
+    * single-task job (or ``multi_task_aware=False``):
+      ``TNRP(τ, T) = tput · RP(τ)``;
+    * multi-task job j (``multi_task_aware=True``):
+      ``TNRP(τ, T) = RP(τ) − (1 − tput) · RP(j)`` — the degradation is
+      charged against the whole job's reservation price, since a straggler
+      slows every sibling (§4.4).  TNRP can go negative for severely
+      interfered multi-task jobs, which is what trips Algorithm 1's
+      line 9–11 guard.
+
+    Attributes:
+        calculator: RP source.
+        table: Co-location throughput table (online-learned).
+        jobs: job_id → Job, needed for the multi-task extension.
+        multi_task_aware: Toggle for the §4.4 extension ("Eva-Multi" vs
+            "Eva-Single").
+    """
+
+    calculator: ReservationPriceCalculator
+    table: CoLocationThroughputTable
+    jobs: Mapping[str, Job] = field(default_factory=dict)
+    multi_task_aware: bool = True
+
+    def task_rp(self, task: Task) -> float:
+        return self.calculator.rp(task)
+
+    def _job_rp(self, task: Task) -> float | None:
+        """RP(j) when the §4.4 extension applies to this task, else None."""
+        if not self.multi_task_aware:
+            return None
+        job = self.jobs.get(task.job_id)
+        if job is None or not job.is_multi_task:
+            return None
+        return self.calculator.rp_of_set(job.tasks)
+
+    def tnrp_from_tput(self, task: Task, tput: float) -> float:
+        rp = self.calculator.rp(task)
+        job_rp = self._job_rp(task)
+        if job_rp is not None:
+            return rp - (1.0 - tput) * job_rp
+        return tput * rp
+
+    def task_tnrp(self, task: Task, neighbours: Sequence[str]) -> float:
+        """TNRP of one task given the workloads co-located with it."""
+        return self.tnrp_from_tput(task, self.table.tput(task.workload, neighbours))
+
+    def set_value(self, tasks: Sequence[Task]) -> float:
+        if not tasks:
+            return 0.0
+        workloads = [t.workload for t in tasks]
+        total = 0.0
+        for idx, task in enumerate(tasks):
+            neighbours = workloads[:idx] + workloads[idx + 1 :]
+            total += self.task_tnrp(task, neighbours)
+        return total
+
+    def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
+        return _TNRPPackState(self, tasks)
+
+    def group_key(self, task: Task) -> tuple:
+        """Group also by job arity: RP(j) differs across arities (§4.4)."""
+        job = self.jobs.get(task.job_id) if self.multi_task_aware else None
+        arity = job.num_tasks if job is not None else 1
+        return (task.workload, _demand_signature(task), arity)

@@ -1,0 +1,278 @@
+"""Full Reconfiguration — Algorithm 1 (§4.2).
+
+The algorithm generalizes the classic variable-sized-bin-packing heuristic
+(largest bins, largest balls first) to multi-dimensional resources by
+ranking instance types by hourly cost and tasks by (throughput-normalized)
+reservation price:
+
+1. Iterate instance types in descending cost.
+2. For each type, repeatedly open a new instance and greedily add the
+   unassigned task maximizing the set's value ``RP(T ∪ {τ})`` while it
+   fits; stop early if adding the best candidate *decreases* the value
+   (possible under TNRP with severe interference — lines 9–11).
+3. Accept the instance iff the final set's value covers the instance's
+   hourly cost (the cost-efficiency criterion, line 14); otherwise return
+   the tasks and move to the next cheaper type.
+
+Every accepted assignment is therefore cost-efficient by construction, and
+(under plain RP) the resulting configuration never costs more per hour
+than No-Packing.
+
+``group_identical=True`` evaluates the argmax over one representative per
+group of interchangeable tasks (same workload, demand signature, and — for
+the multi-task-aware evaluator — job arity), reducing the paper's
+O(|T|²) scan to roughly O(|T|·|groups|) without changing results;
+``group_identical=False`` restores the faithful per-task scan (both are
+measured in the Table 5 bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.cluster.instance import Instance, InstanceType, fresh_instance
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import Task
+from repro.core.evaluation import AssignmentEvaluator
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PackedInstance:
+    """One instance of the output configuration with its task set."""
+
+    instance: Instance
+    tasks: tuple[Task, ...]
+
+    @property
+    def instance_type(self) -> InstanceType:
+        return self.instance.instance_type
+
+    @property
+    def hourly_cost(self) -> float:
+        return self.instance.hourly_cost
+
+    def task_ids(self) -> frozenset[str]:
+        return frozenset(t.task_id for t in self.tasks)
+
+
+class _TaskPool:
+    """Unassigned tasks, bucketed into interchangeable groups.
+
+    Groups are ordered deterministically; tasks inside a group are stacks
+    sorted by task id, so runs are reproducible.
+    """
+
+    def __init__(self, tasks: Iterable[Task], evaluator: AssignmentEvaluator,
+                 group_identical: bool):
+        self._evaluator = evaluator
+        buckets: dict[tuple, list[Task]] = {}
+        for task in sorted(tasks, key=lambda t: t.task_id, reverse=True):
+            key = (
+                evaluator.group_key(task)
+                if group_identical
+                else (task.task_id,)
+            )
+            buckets.setdefault(key, []).append(task)
+        self._buckets = dict(sorted(buckets.items(), key=lambda kv: kv[0]))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def is_empty(self) -> bool:
+        return not self._buckets
+
+    def representatives(self) -> list[Task]:
+        """One candidate task per non-empty group."""
+        return [bucket[-1] for bucket in self._buckets.values()]
+
+    def pop(self, task: Task) -> Task:
+        key = next(k for k, b in self._buckets.items() if b and b[-1] is task)
+        bucket = self._buckets[key]
+        popped = bucket.pop()
+        if not bucket:
+            del self._buckets[key]
+        return popped
+
+    def push_back(self, tasks: Sequence[Task], group_identical: bool) -> None:
+        for task in tasks:
+            key = (
+                self._evaluator.group_key(task)
+                if group_identical
+                else (task.task_id,)
+            )
+            self._buckets.setdefault(key, []).append(task)
+        self._buckets = dict(sorted(self._buckets.items(), key=lambda kv: kv[0]))
+
+
+def _pack_one_instance(
+    itype: InstanceType,
+    pool: _TaskPool,
+    evaluator: AssignmentEvaluator,
+) -> tuple[list[Task], float]:
+    """Greedy inner loop of Algorithm 1 (lines 6–13) for one instance."""
+    chosen: list[Task] = []
+    state = evaluator.make_state()
+    remaining = itype.capacity
+    family = itype.family
+    while True:
+        best_task: Task | None = None
+        best_value = -float("inf")
+        for candidate in pool.representatives():
+            if not candidate.demand_for(family).fits_within(remaining):
+                continue
+            value = state.value_with(candidate)
+            rank = (value, evaluator.task_rp(candidate), candidate.task_id)
+            if best_task is None or rank > (
+                best_value,
+                evaluator.task_rp(best_task),
+                best_task.task_id,
+            ):
+                best_task, best_value = candidate, value
+        if best_task is None:
+            break  # nothing fits (line 7 exit)
+        if best_value < state.value - _EPS:
+            break  # lines 9–11: adding would reduce the set's value
+        pool.pop(best_task)
+        state.add(best_task)
+        chosen.append(best_task)
+        remaining = remaining - best_task.demand_for(family)
+    return chosen, state.value
+
+
+def full_reconfiguration(
+    tasks: Sequence[Task],
+    instance_types: Sequence[InstanceType],
+    evaluator: AssignmentEvaluator,
+    group_identical: bool = True,
+    cost_margin: float = 0.0,
+) -> list[PackedInstance]:
+    """Run Algorithm 1 over ``tasks`` and return the packed configuration.
+
+    Every task appears in exactly one returned instance (each task is
+    cost-efficient standalone on its reservation-price type, so the
+    algorithm always terminates with a complete assignment).
+
+    ``cost_margin`` is the JCT-aware extension the paper leaves as future
+    work (§6.3): multi-task co-locations must beat the instance cost by
+    the margin (value ≥ cost · (1 + margin)), trading some packing — and
+    its throughput loss — for shorter JCTs.  Standalone placements are
+    exempt so every task remains placeable at its reservation-price type.
+    """
+    if cost_margin < 0:
+        raise ValueError("cost_margin must be >= 0")
+    pool = _TaskPool(tasks, evaluator, group_identical)
+    types_desc = sorted(
+        (it for it in instance_types if not it.is_ghost),
+        key=lambda it: (-it.hourly_cost, it.name),
+    )
+    packed: list[PackedInstance] = []
+    for itype in types_desc:
+        while not pool.is_empty():
+            chosen, value = _pack_one_instance(itype, pool, evaluator)
+            threshold = itype.hourly_cost * (
+                1.0 + (cost_margin if len(chosen) > 1 else 0.0)
+            )
+            if chosen and value >= threshold - _EPS:
+                packed.append(
+                    PackedInstance(
+                        instance=fresh_instance(itype), tasks=tuple(chosen)
+                    )
+                )
+            elif (
+                len(chosen) > 1
+                and cost_margin > 0
+                and value >= itype.hourly_cost - _EPS
+                and evaluator.set_value([chosen[0]]) >= itype.hourly_cost - _EPS
+            ):
+                # The margin (not cost-efficiency) blocked this
+                # co-location; place the anchor standalone so tasks whose
+                # only feasible type is this one are never stranded.
+                packed.append(
+                    PackedInstance(
+                        instance=fresh_instance(itype), tasks=(chosen[0],)
+                    )
+                )
+                pool.push_back(chosen[1:], group_identical)
+            else:
+                # Line 17: not cost-efficient on this type; put the tasks
+                # back and move to the next cheaper type.
+                pool.push_back(chosen, group_identical)
+                break
+        if pool.is_empty():
+            break
+    if not pool.is_empty():
+        leftover = [t.task_id for t in pool.representatives()]
+        raise RuntimeError(
+            f"{len(pool)} task(s) could not be packed (e.g. {leftover[:3]}); "
+            "is some task infeasible on every instance type?"
+        )
+    return packed
+
+
+def configuration_cost(packed: Sequence[PackedInstance]) -> float:
+    """Hourly provisioning cost of a packed configuration."""
+    return sum(p.hourly_cost for p in packed)
+
+
+def match_existing_instances(
+    packed: Sequence[PackedInstance],
+    existing: Sequence[tuple[Instance, frozenset[str]]],
+) -> list[PackedInstance]:
+    """Relabel packed instances with existing instance ids where possible.
+
+    Full Reconfiguration plans instances abstractly; when the plan calls
+    for an instance type that is already provisioned, reusing the live
+    instance avoids a spurious terminate+launch and reduces migrations.
+    For each type, packed instances are matched to live instances of the
+    same type by descending task-set overlap.
+    """
+    by_type: dict[str, list[tuple[Instance, frozenset[str]]]] = {}
+    for inst, task_ids in existing:
+        by_type.setdefault(inst.instance_type.name, []).append((inst, task_ids))
+
+    relabelled: list[PackedInstance] = []
+    for pi in sorted(
+        packed, key=lambda p: (-p.hourly_cost, -len(p.tasks), p.instance.instance_id)
+    ):
+        candidates = by_type.get(pi.instance_type.name)
+        if not candidates:
+            relabelled.append(pi)
+            continue
+        want = pi.task_ids()
+        best_idx = max(
+            range(len(candidates)),
+            key=lambda i: (len(candidates[i][1] & want), candidates[i][0].instance_id),
+        )
+        live_instance, _ = candidates.pop(best_idx)
+        if not candidates:
+            del by_type[pi.instance_type.name]
+        relabelled.append(PackedInstance(instance=live_instance, tasks=pi.tasks))
+    return relabelled
+
+
+def instances_by_type(
+    existing: Mapping[str, Sequence[Instance]] | None,
+) -> dict[str, list[Instance]]:
+    """Normalize an optional reusable-instance mapping (helper for callers)."""
+    if existing is None:
+        return {}
+    return {k: list(v) for k, v in existing.items()}
+
+
+def packing_summary(packed: Sequence[PackedInstance]) -> dict[str, float]:
+    """Quick aggregate stats used by tests and reports."""
+    num_tasks = sum(len(p.tasks) for p in packed)
+    return {
+        "instances": float(len(packed)),
+        "tasks": float(num_tasks),
+        "hourly_cost": configuration_cost(packed),
+        "tasks_per_instance": num_tasks / len(packed) if packed else 0.0,
+    }
+
+
+def total_demand(tasks: Iterable[Task], family: str) -> ResourceVector:
+    """Summed family-specific demand — handy for capacity sanity checks."""
+    return ResourceVector.sum(t.demand_for(family) for t in tasks)

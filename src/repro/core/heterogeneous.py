@@ -1,0 +1,251 @@
+"""Heterogeneous-resource extension of reservation price (§4.2,
+"Generalizability to Heterogeneous Resources").
+
+Different instance families may carry different versions of the same
+resource (A100 vs V100 GPUs; the Table-7 footnote's faster C7i/R7i CPUs),
+so a task's throughput depends on *where* it runs.  The paper sketches the
+extension: redefine reservation price as the minimum **cost per iteration**
+over feasible types, and evaluate a tasks-to-instance assignment by each
+task's cost-per-hour *scaled by its throughput on that family*, summed and
+compared to the instance's hourly cost.
+
+Concretely, with ``speed(τ, f)`` the task's relative iteration rate on
+family ``f`` (1.0 on its reference family):
+
+* ``RP_het(τ) = min over feasible k of  C_k / speed(τ, family(k))`` —
+  the cheapest dollars-per-unit-of-work, attained at the task's
+  *efficiency type*;
+* a set ``T`` on an instance of type ``k`` is cost-efficient iff
+  ``Σ_τ RP_het(τ) · speed(τ, family(k)) · tput_τ ≥ C_k`` — each task
+  contributes what it would be worth at the rate it actually achieves
+  there.
+
+:class:`HeterogeneousEvaluator` plugs into Algorithm 1 unchanged; with all
+speeds equal to 1.0 it reduces exactly to the homogeneous TNRP evaluator
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster.instance import InstanceType
+from repro.cluster.task import Job, Task
+from repro.core.evaluation import AssignmentEvaluator, PackState
+from repro.core.reservation_price import (
+    InfeasibleTaskError,
+    ReservationPriceCalculator,
+    _demand_signature,
+)
+from repro.core.throughput_table import CoLocationThroughputTable
+
+
+@dataclass(frozen=True)
+class FamilySpeedProfile:
+    """Relative iteration rates per instance family.
+
+    ``speeds[workload][family]`` is the task's standalone rate on that
+    family relative to its reference family; missing entries default to
+    ``default_speed`` (1.0: family makes no difference).
+    """
+
+    speeds: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    default_speed: float = 1.0
+
+    def speed(self, workload: str, family: str) -> float:
+        row = self.speeds.get(workload)
+        if row is None:
+            return self.default_speed
+        return row.get(family, self.default_speed)
+
+
+@dataclass
+class HeterogeneousRPCalculator:
+    """Cost-per-iteration reservation prices (§4.2 extension).
+
+    Attributes:
+        catalog: Available instance types.
+        profile: Per-(workload, family) speed factors.
+    """
+
+    catalog: Sequence[InstanceType]
+    profile: FamilySpeedProfile = field(default_factory=FamilySpeedProfile)
+
+    def __post_init__(self) -> None:
+        self._types = [it for it in self.catalog if not it.is_ghost]
+        if not self._types:
+            raise ValueError("catalog has no (non-ghost) instance types")
+        self._cache: dict[tuple, tuple[InstanceType, float]] = {}
+
+    def _key(self, task: Task) -> tuple:
+        return (task.workload, _demand_signature(task))
+
+    def rp(self, task: Task) -> float:
+        """min over feasible k of C_k / speed(τ, family(k))."""
+        return self._lookup(task)[1]
+
+    def rp_type(self, task: Task) -> InstanceType:
+        """The efficiency type attaining the heterogeneous RP."""
+        return self._lookup(task)[0]
+
+    def _lookup(self, task: Task) -> tuple[InstanceType, float]:
+        key = self._key(task)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        best: tuple[InstanceType, float] | None = None
+        for itype in self._types:
+            if not task.demand_for(itype.family).fits_within(itype.capacity):
+                continue
+            speed = self.profile.speed(task.workload, itype.family)
+            if speed <= 0:
+                continue
+            cost_per_work = itype.hourly_cost / speed
+            if best is None or cost_per_work < best[1]:
+                best = (itype, cost_per_work)
+        if best is None:
+            raise InfeasibleTaskError(
+                f"task {task.task_id} fits no instance type in the catalog"
+            )
+        self._cache[key] = best
+        return best
+
+    def rp_of_set(self, tasks: Sequence[Task]) -> float:
+        return sum(self.rp(t) for t in tasks)
+
+
+class _HetPackState(PackState):
+    """Recomputing pack state (heterogeneous sets stay small in practice)."""
+
+    def __init__(self, evaluator: "HeterogeneousEvaluator", tasks: Sequence[Task]):
+        self._ev = evaluator
+        self._members: list[Task] = list(tasks)
+        self._value = evaluator.set_value(self._members)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def value_with(self, task: Task) -> float:
+        return self._ev.set_value(self._members + [task])
+
+    def add(self, task: Task) -> None:
+        self._members.append(task)
+        self._value = self._ev.set_value(self._members)
+
+
+@dataclass
+class HeterogeneousEvaluator(AssignmentEvaluator):
+    """TNRP with family-dependent speeds, for a fixed instance family.
+
+    Algorithm 1 evaluates candidate sets per instance type; this evaluator
+    is *bound to one family* (the type currently being packed), so the
+    family-speed factor is known.  Use :meth:`for_family` to derive bound
+    evaluators from a family-agnostic template.
+    """
+
+    calculator: HeterogeneousRPCalculator
+    table: CoLocationThroughputTable
+    family: str = "*"
+    jobs: Mapping[str, Job] = field(default_factory=dict)
+    multi_task_aware: bool = True
+
+    def for_family(self, family: str) -> "HeterogeneousEvaluator":
+        return HeterogeneousEvaluator(
+            calculator=self.calculator,
+            table=self.table,
+            family=family,
+            jobs=self.jobs,
+            multi_task_aware=self.multi_task_aware,
+        )
+
+    def task_rp(self, task: Task) -> float:
+        return self.calculator.rp(task)
+
+    def _speed(self, task: Task) -> float:
+        return self.calculator.profile.speed(task.workload, self.family)
+
+    def _task_value(self, task: Task, tput: float) -> float:
+        rate = tput * self._speed(task)
+        rp = self.calculator.rp(task)
+        if self.multi_task_aware:
+            job = self.jobs.get(task.job_id)
+            if job is not None and job.is_multi_task:
+                job_rp = self.calculator.rp_of_set(list(job.tasks))
+                return rp - (1.0 - rate) * job_rp
+        return rate * rp
+
+    def set_value(self, tasks: Sequence[Task]) -> float:
+        if not tasks:
+            return 0.0
+        workloads = [t.workload for t in tasks]
+        total = 0.0
+        for idx, task in enumerate(tasks):
+            neighbours = workloads[:idx] + workloads[idx + 1 :]
+            tput = self.table.tput(task.workload, neighbours)
+            total += self._task_value(task, tput)
+        return total
+
+    def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
+        return _HetPackState(self, tasks)
+
+    def group_key(self, task: Task) -> tuple:
+        job = self.jobs.get(task.job_id) if self.multi_task_aware else None
+        arity = job.num_tasks if job is not None else 1
+        return (task.workload, _demand_signature(task), arity)
+
+
+def heterogeneous_full_reconfiguration(
+    tasks: Sequence[Task],
+    instance_types: Sequence[InstanceType],
+    evaluator: HeterogeneousEvaluator,
+    group_identical: bool = True,
+):
+    """Algorithm 1 with per-family evaluator binding.
+
+    Identical to :func:`repro.core.full_reconfig.full_reconfiguration`
+    except the evaluator is re-bound to each instance type's family as
+    the outer loop walks the catalog, so speeds apply correctly.
+    """
+    from repro.core.full_reconfig import PackedInstance, _TaskPool, _pack_one_instance
+    from repro.cluster.instance import fresh_instance
+
+    pool = _TaskPool(tasks, evaluator, group_identical)
+    types_desc = sorted(
+        (it for it in instance_types if not it.is_ghost),
+        key=lambda it: (-it.hourly_cost, it.name),
+    )
+    packed: list[PackedInstance] = []
+    for itype in types_desc:
+        bound = evaluator.for_family(itype.family)
+        while not pool.is_empty():
+            chosen, value = _pack_one_instance(itype, pool, bound)
+            if chosen and value >= itype.hourly_cost - 1e-9:
+                packed.append(
+                    PackedInstance(instance=fresh_instance(itype), tasks=tuple(chosen))
+                )
+            else:
+                pool.push_back(chosen, group_identical)
+                break
+        if pool.is_empty():
+            break
+    if not pool.is_empty():
+        raise RuntimeError(
+            f"{len(pool)} task(s) could not be packed under the "
+            "heterogeneous evaluator"
+        )
+    return packed
+
+
+def reduces_to_homogeneous(
+    calculator: HeterogeneousRPCalculator,
+    homogeneous: ReservationPriceCalculator,
+    task: Task,
+) -> bool:
+    """True if, with unit speeds, both calculators agree on RP(task).
+
+    Used by the property tests: the heterogeneous extension must collapse
+    to the paper's base definition when families do not matter.
+    """
+    return abs(calculator.rp(task) - homogeneous.rp(task)) < 1e-9

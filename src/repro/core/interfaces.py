@@ -1,0 +1,54 @@
+"""Scheduler interface and throughput-report types.
+
+Every scheduler — Eva and the four baselines — implements the same
+contract: consume a :class:`~repro.cluster.state.ClusterSnapshot`, return a
+:class:`~repro.cluster.state.TargetConfiguration`.  Interference-aware
+schedulers additionally receive per-job throughput reports collected by the
+workers (§5: the worker queries each job's ``EvaIterator`` and reports to
+the master every scheduling round).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.state import ClusterSnapshot, TargetConfiguration
+from repro.core.throughput_table import TaskPlacementObservation
+
+
+@dataclass(frozen=True, slots=True)
+class JobThroughputReport:
+    """One job's observed throughput over the last scheduling window.
+
+    Attributes:
+        job_id: The observed job.
+        normalized_tput: Job throughput normalized by its standalone
+            throughput (1.0 = no degradation).  For multi-task jobs this
+            is the straggler-limited job throughput (§4.4).
+        placements: Per-task placement context (workload + co-located
+            workloads) at observation time.
+    """
+
+    job_id: str
+    normalized_tput: float
+    placements: tuple[TaskPlacementObservation, ...]
+
+    @property
+    def is_multi_task(self) -> bool:
+        return len(self.placements) > 1
+
+
+class Scheduler(ABC):
+    """Snapshot-in, target-configuration-out scheduling contract (§3)."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+        """Decide the cluster configuration for the next period."""
+
+    def on_throughput_reports(self, reports: tuple[JobThroughputReport, ...]) -> None:
+        """Ingest throughput observations (no-op for interference-blind
+        schedulers)."""

@@ -1,0 +1,57 @@
+"""ThroughputMonitor (§3, §4.3–§4.4).
+
+The monitor owns the co-location throughput table and translates raw
+per-job throughput reports into table updates:
+
+* single-task jobs update their own co-location entry directly;
+* multi-task jobs go through the §4.4 attribution rules, which identify a
+  single entry (the likely straggler) to update so that recorded values
+  remain lower bounds of the truth.
+
+The scheduler reads estimates back through :meth:`tput` when computing
+throughput-normalized reservation prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.interfaces import JobThroughputReport
+from repro.core.throughput_table import (
+    CoLocationThroughputTable,
+    TaskPlacementObservation,
+)
+
+
+@dataclass
+class ThroughputMonitor:
+    """Online interference learning from job throughput reports."""
+
+    table: CoLocationThroughputTable = field(default_factory=CoLocationThroughputTable)
+    reports_seen: int = 0
+
+    def ingest(self, reports: Sequence[JobThroughputReport]) -> None:
+        """Apply a round of job throughput reports to the table."""
+        for report in reports:
+            self.reports_seen += 1
+            if report.is_multi_task:
+                self.table.observe_multi_task_job(
+                    report.placements, report.normalized_tput
+                )
+            elif report.placements:
+                self.table.observe_single_task_job(
+                    report.placements[0], report.normalized_tput
+                )
+
+    def tput(self, workload: str, neighbours: Sequence[str]) -> float:
+        """Estimated normalized throughput for a prospective placement."""
+        return self.table.tput(workload, neighbours)
+
+    def observation(
+        self, workload: str, neighbours: Sequence[str]
+    ) -> TaskPlacementObservation:
+        """Convenience constructor for placement observations."""
+        return TaskPlacementObservation(
+            workload=workload, neighbours=tuple(neighbours)
+        )

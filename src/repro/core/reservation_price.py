@@ -1,0 +1,113 @@
+"""Reservation price (§4.2).
+
+The reservation price ``RP(τ)`` of a task is the hourly cost of the
+*cheapest* instance type capable of meeting the task's resource demands —
+i.e. the minimum hourly cost of hosting τ standalone, without packing.
+For a set of tasks, ``RP(T) = Σ_τ RP(τ)``.
+
+A task-to-instance assignment is cost-efficient iff the reservation price
+of the assigned set is at least the instance's hourly cost: provisioning
+the shared instance is then no more expensive than giving every task its
+own reservation-price instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.cluster.instance import InstanceType
+from repro.cluster.task import Task
+
+
+class InfeasibleTaskError(ValueError):
+    """Raised when no instance type in the catalog can host a task."""
+
+
+def _demand_signature(task: Task) -> tuple:
+    """Hashable key identifying a task's demand structure.
+
+    Tasks created from the same workload share demand content but not
+    dict identity, so the signature hashes the demand values themselves.
+    """
+    return tuple(
+        sorted((family, vec.as_tuple()) for family, vec in task.demands.items())
+    )
+
+
+@dataclass
+class ReservationPriceCalculator:
+    """Computes and caches reservation prices against an instance catalog.
+
+    Attributes:
+        catalog: Available instance types (ghost types are ignored).
+    """
+
+    catalog: Sequence[InstanceType]
+    _cache: dict[tuple, tuple[InstanceType, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        real_types = [it for it in self.catalog if not it.is_ghost]
+        if not real_types:
+            raise ValueError("catalog has no (non-ghost) instance types")
+        # Ascending cost: the first feasible type is the RP type.
+        object.__setattr__(
+            self,
+            "_by_cost_asc",
+            sorted(real_types, key=lambda it: (it.hourly_cost, it.name)),
+        )
+
+    def rp_type(self, task: Task) -> InstanceType:
+        """The reservation-price instance type: cheapest feasible for ``task``."""
+        return self._lookup(task)[0]
+
+    def rp(self, task: Task) -> float:
+        """The reservation price of ``task`` in $/hr."""
+        return self._lookup(task)[1]
+
+    def rp_of_set(self, tasks: Iterable[Task]) -> float:
+        """``RP(T) = Σ RP(τ)`` (§4.2)."""
+        return sum(self.rp(t) for t in tasks)
+
+    def job_rp(self, tasks: Iterable[Task]) -> float:
+        """Reservation price of a whole job (used by the §4.4 extension)."""
+        return self.rp_of_set(tasks)
+
+    def is_cost_efficient(
+        self, tasks: Iterable[Task], instance_type: InstanceType, value: float | None = None
+    ) -> bool:
+        """The §4.2 criterion: RP (or supplied value) ≥ instance hourly cost."""
+        total = value if value is not None else self.rp_of_set(tasks)
+        return total >= instance_type.hourly_cost - 1e-9
+
+    def _lookup(self, task: Task) -> tuple[InstanceType, float]:
+        key = _demand_signature(task)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        for itype in self._by_cost_asc:  # type: ignore[attr-defined]
+            if task.demand_for(itype.family).fits_within(itype.capacity):
+                result = (itype, itype.hourly_cost)
+                self._cache[key] = result
+                return result
+        raise InfeasibleTaskError(
+            f"task {task.task_id} ({task.workload}) fits no instance type; "
+            f"max demand {task.max_demand}"
+        )
+
+
+def no_packing_cost(
+    tasks: Iterable[Task], calculator: ReservationPriceCalculator
+) -> float:
+    """Hourly cost of hosting every task on its own reservation-price
+    instance — the No-Packing baseline's instantaneous provisioning cost."""
+    return calculator.rp_of_set(tasks)
+
+
+def job_rp_index(
+    jobs: Mapping[str, Sequence[Task]], calculator: ReservationPriceCalculator
+) -> dict[str, float]:
+    """Precompute RP(j) for each job — the §4.4 multi-task penalty weight."""
+    return {job_id: calculator.rp_of_set(tasks) for job_id, tasks in jobs.items()}

@@ -1,0 +1,252 @@
+"""Eva's scheduler (§3, §4): ties RP/TNRP packing, the throughput monitor,
+and the migration-aware ensemble into the common :class:`Scheduler`
+contract.
+
+Variants used throughout the evaluation are expressed as configuration
+toggles:
+
+==================  =============================================
+Variant             Configuration
+==================  =============================================
+Eva (default)       TNRP + multi-task aware + Full & Partial
+Eva-RP              ``interference_aware=False`` (Figure 4)
+Eva-TNRP            alias of the default (Figure 4)
+Eva-Single          ``multi_task_aware=False`` (Table 6, Figure 7)
+Eva w/o Full        ``enable_full=False`` (Figure 6)
+Eva Full-only       ``enable_partial=False`` (Figure 5b)
+==================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.cloud.delays import DelayModel
+from repro.cluster.instance import InstanceType
+from repro.cluster.state import (
+    ClusterSnapshot,
+    TargetConfiguration,
+)
+from repro.core.ensemble import EnsemblePolicy, ReconfigDecision
+from repro.core.evaluation import (
+    AssignmentEvaluator,
+    RPEvaluator,
+    TNRPEvaluator,
+)
+from repro.core.full_reconfig import (
+    PackedInstance,
+    full_reconfiguration,
+    match_existing_instances,
+)
+from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.monitor import ThroughputMonitor
+from repro.core.partial_reconfig import partial_reconfiguration
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.core.throughput_table import CoLocationThroughputTable
+
+
+@dataclass(frozen=True)
+class EvaConfig:
+    """Feature toggles for Eva variants (see module docstring).
+
+    Attributes:
+        interference_aware: Use TNRP (True) or plain RP (False).
+        multi_task_aware: Apply the §4.4 multi-task extension.
+        enable_full: Compute the Full Reconfiguration candidate.
+        enable_partial: Compute the Partial Reconfiguration candidate.
+        default_tput: The table's default pairwise throughput ``t``
+            (0.95 in all paper experiments; smaller packs more
+            conservatively, §4.3).
+        group_identical: Algorithm 1 candidate grouping (DESIGN.md §4.2).
+        efficiency_margin: JCT-aware packing margin (§6.3 future work):
+            co-locations must beat instance cost by this fraction.  0.0
+            reproduces the paper; higher values trade savings for JCT.
+    """
+
+    interference_aware: bool = True
+    multi_task_aware: bool = True
+    enable_full: bool = True
+    enable_partial: bool = True
+    default_tput: float = 0.95
+    group_identical: bool = True
+    efficiency_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.enable_full or self.enable_partial):
+            raise ValueError("at least one of Full/Partial must be enabled")
+        if self.efficiency_margin < 0:
+            raise ValueError("efficiency_margin must be >= 0")
+
+
+def _to_target(packed: Sequence[PackedInstance]) -> TargetConfiguration:
+    return TargetConfiguration.from_pairs(
+        (p.instance, (t.task_id for t in p.tasks)) for p in packed
+    )
+
+
+class EvaScheduler(Scheduler):
+    """The Eva cluster scheduler."""
+
+    def __init__(
+        self,
+        catalog: Sequence[InstanceType],
+        config: EvaConfig | None = None,
+        delay_model: DelayModel | None = None,
+        name: str | None = None,
+    ):
+        self.catalog = list(catalog)
+        self.config = config or EvaConfig()
+        self.delay_model = delay_model or DelayModel()
+        self.rp_calculator = ReservationPriceCalculator(self.catalog)
+        self.monitor = ThroughputMonitor(
+            table=CoLocationThroughputTable(default_tput=self.config.default_tput)
+        )
+        self.policy = EnsemblePolicy(delay_model=self.delay_model)
+        self.name = name or self._default_name()
+        self._known_job_ids: set[str] = set()
+        self.last_decision: ReconfigDecision | None = None
+
+    def _default_name(self) -> str:
+        if not self.config.interference_aware:
+            return "Eva-RP"
+        if not self.config.multi_task_aware:
+            return "Eva-Single"
+        if not self.config.enable_partial:
+            return "Eva-Full-only"
+        if not self.config.enable_full:
+            return "Eva-Partial-only"
+        return "Eva"
+
+    # ------------------------------------------------------------------
+    # Scheduler contract
+    # ------------------------------------------------------------------
+    def on_throughput_reports(self, reports: tuple[JobThroughputReport, ...]) -> None:
+        self.monitor.ingest(reports)
+
+    def make_evaluator(self, snapshot: ClusterSnapshot) -> AssignmentEvaluator:
+        if not self.config.interference_aware:
+            return RPEvaluator(self.rp_calculator)
+        return TNRPEvaluator(
+            calculator=self.rp_calculator,
+            table=self.monitor.table,
+            jobs=snapshot.jobs,
+            multi_task_aware=self.config.multi_task_aware,
+        )
+
+    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+        self._track_events(snapshot)
+        evaluator = self.make_evaluator(snapshot)
+
+        full_cfg = (
+            self._full_candidate(snapshot, evaluator)
+            if self.config.enable_full
+            else None
+        )
+        partial_cfg = (
+            self._partial_candidate(snapshot, evaluator)
+            if self.config.enable_partial
+            else None
+        )
+
+        if full_cfg is not None and partial_cfg is not None:
+            chosen, decision = self.policy.decide(
+                full_cfg, partial_cfg, snapshot, evaluator
+            )
+            self.last_decision = decision
+            return chosen
+        chosen = full_cfg if full_cfg is not None else partial_cfg
+        assert chosen is not None
+        self.last_decision = None
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Candidates
+    # ------------------------------------------------------------------
+    def _full_candidate(
+        self, snapshot: ClusterSnapshot, evaluator: AssignmentEvaluator
+    ) -> TargetConfiguration:
+        packed = full_reconfiguration(
+            list(snapshot.tasks.values()),
+            self.catalog,
+            evaluator,
+            group_identical=self.config.group_identical,
+            cost_margin=self.config.efficiency_margin,
+        )
+        packed = match_existing_instances(
+            packed,
+            [(st.instance, frozenset(st.task_ids)) for st in snapshot.instances],
+        )
+        return _to_target(packed)
+
+    def _partial_candidate(
+        self, snapshot: ClusterSnapshot, evaluator: AssignmentEvaluator
+    ) -> TargetConfiguration:
+        current = [
+            (st.instance, [snapshot.tasks[tid] for tid in st.task_ids])
+            for st in snapshot.instances
+        ]
+        result = partial_reconfiguration(
+            current,
+            snapshot.unassigned_tasks(),
+            self.catalog,
+            evaluator,
+            group_identical=self.config.group_identical,
+            cost_margin=self.config.efficiency_margin,
+        )
+        return _to_target(result.configuration)
+
+    # ------------------------------------------------------------------
+    # Event tracking for the D̂ estimator
+    # ------------------------------------------------------------------
+    def _track_events(self, snapshot: ClusterSnapshot) -> None:
+        job_ids = set(snapshot.jobs)
+        arrivals = len(job_ids - self._known_job_ids)
+        completions = len(self._known_job_ids - job_ids)
+        self.policy.record_events(arrivals + completions, snapshot.time_s)
+        self._known_job_ids = job_ids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def full_adoption_fraction(self) -> float:
+        """Fraction of ensemble decisions adopting Full Reconfig (Fig. 5a)."""
+        return self.policy.full_adoption_fraction()
+
+    def with_config(self, **overrides) -> "EvaScheduler":
+        """A fresh scheduler with configuration overrides (for sweeps)."""
+        return EvaScheduler(
+            catalog=self.catalog,
+            config=replace(self.config, **overrides),
+            delay_model=self.delay_model,
+        )
+
+
+def make_eva_variant(
+    catalog: Sequence[InstanceType],
+    variant: str = "eva",
+    delay_model: DelayModel | None = None,
+) -> EvaScheduler:
+    """Factory for the named Eva variants used in the evaluation."""
+    variants = {
+        "eva": EvaConfig(),
+        "eva-tnrp": EvaConfig(),
+        "eva-rp": EvaConfig(interference_aware=False),
+        "eva-single": EvaConfig(multi_task_aware=False),
+        "eva-full-only": EvaConfig(enable_partial=False),
+        "eva-partial-only": EvaConfig(enable_full=False),
+    }
+    key = variant.lower()
+    if key not in variants:
+        raise KeyError(f"unknown Eva variant {variant!r}; known: {sorted(variants)}")
+    name_map = {
+        "eva": "Eva",
+        "eva-tnrp": "Eva-TNRP",
+        "eva-rp": "Eva-RP",
+        "eva-single": "Eva-Single",
+        "eva-full-only": "Eva-Full-only",
+        "eva-partial-only": "Eva-Partial-only",
+    }
+    return EvaScheduler(
+        catalog, config=variants[key], delay_model=delay_model, name=name_map[key]
+    )

@@ -1,0 +1,45 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every driver exposes ``run(...)`` returning a result object whose
+``table`` (an :class:`~repro.analysis.reporting.ExperimentTable`) renders
+the same rows/series the paper reports.  ``EVA_BENCH_SCALE`` scales sizes
+(see :mod:`repro.experiments.common`).
+"""
+
+from repro.experiments import (
+    fig01_interference,
+    fig04_interference_sweep,
+    fig05_migration_sweep,
+    fig06_workload_mix,
+    fig07_multitask_sweep,
+    fig08_arrival_rate,
+    table01_delays,
+    table04_microbench,
+    table05_runtime,
+    table06_multitask,
+    table07_workloads,
+    table10_e2e_large,
+    table11_e2e_small,
+    table12_fidelity,
+    table13_alibaba,
+    table14_gavel,
+)
+
+__all__ = [
+    "fig01_interference",
+    "fig04_interference_sweep",
+    "fig05_migration_sweep",
+    "fig06_workload_mix",
+    "fig07_multitask_sweep",
+    "fig08_arrival_rate",
+    "table01_delays",
+    "table04_microbench",
+    "table05_runtime",
+    "table06_multitask",
+    "table07_workloads",
+    "table10_e2e_large",
+    "table11_e2e_small",
+    "table12_fidelity",
+    "table13_alibaba",
+    "table14_gavel",
+]

@@ -1,0 +1,117 @@
+"""Command-line runner for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments list            # show available experiments
+    python -m repro.experiments table13         # run one and print its table
+    python -m repro.experiments all             # run everything (slow)
+
+``EVA_BENCH_SCALE`` scales experiment sizes (see repro.experiments.common).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01_interference,
+    fig04_interference_sweep,
+    fig05_migration_sweep,
+    fig06_workload_mix,
+    fig07_multitask_sweep,
+    fig08_arrival_rate,
+    table01_delays,
+    table04_microbench,
+    table05_runtime,
+    table06_multitask,
+    table07_workloads,
+    table10_e2e_large,
+    table11_e2e_small,
+    table12_fidelity,
+    table13_alibaba,
+    table14_gavel,
+)
+
+#: name -> callable returning something with a render()able table.
+_RUNNERS = {
+    "fig01": lambda: fig01_interference.run(),
+    "fig04": lambda: _sweep(fig04_interference_sweep, "Figure 4"),
+    "fig05": lambda: _fig05(),
+    "fig06": lambda: _sweep(fig06_workload_mix, "Figure 6"),
+    "fig07": lambda: _sweep(fig07_multitask_sweep, "Figure 7"),
+    "fig08": lambda: _sweep(fig08_arrival_rate, "Figure 8"),
+    "table01": lambda: table01_delays.run(),
+    "table04": lambda: table04_microbench.run().table,
+    "table05": lambda: table05_runtime.run(),
+    "table06": lambda: table06_multitask.run().table,
+    "table07": lambda: table07_workloads.run_table7(),
+    "table08": lambda: table07_workloads.run_table8(),
+    "table09": lambda: table07_workloads.run_table9(),
+    "table10": lambda: _table10(),
+    "table11": lambda: table11_e2e_small.run().table,
+    "table12": lambda: table12_fidelity.run().table,
+    "table13": lambda: table13_alibaba.run().table,
+    "table14": lambda: table14_gavel.run().table,
+}
+
+
+class _TextResult:
+    """Adapter for runners that emit pre-rendered text."""
+
+    def __init__(self, text: str):
+        self._text = text
+
+    def render(self) -> str:
+        return self._text
+
+
+def _sweep(module, chart_title: str) -> _TextResult:
+    """Run a sweep driver and render its table plus an ASCII chart."""
+    from repro.analysis.charts import sweep_chart
+
+    result = module.run()
+    return _TextResult(
+        result.table.render()
+        + "\n\n"
+        + sweep_chart(chart_title, result.norm_cost)
+    )
+
+
+def _fig05() -> _TextResult:
+    result = fig05_migration_sweep.run()
+    return _TextResult(
+        result.adoption_table.render() + "\n\n" + result.cost_table.render()
+    )
+
+
+def _table10() -> _TextResult:
+    result = table10_e2e_large.run()
+    return _TextResult(result.table.render() + "\n\n" + result.uptime_cdf_text)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    name = argv[1]
+    if name == "list":
+        for key in sorted(_RUNNERS):
+            print(key)
+        return 0
+    names = sorted(_RUNNERS) if name == "all" else [name]
+    unknown = [n for n in names if n not in _RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for key in names:
+        start = time.perf_counter()
+        result = _RUNNERS[key]()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{key} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,31 @@
+"""Shared experiment configuration.
+
+``EVA_BENCH_SCALE`` (float, default 1.0) scales trace sizes and trial
+counts so the full harness finishes on a laptop while preserving result
+shapes; set it above 1 (e.g. ``EVA_BENCH_SCALE=8``) to approach the
+paper's full scale (6,274-job traces, 30-trial micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """The global experiment scale factor from ``EVA_BENCH_SCALE``."""
+    raw = os.environ.get("EVA_BENCH_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"EVA_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"EVA_BENCH_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled(base: int, minimum: int = 1, maximum: int | None = None) -> int:
+    """Scale an experiment size by the global factor, with bounds."""
+    value = max(minimum, int(round(base * bench_scale())))
+    if maximum is not None:
+        value = min(value, maximum)
+    return value

@@ -1,0 +1,77 @@
+"""Figure 4 — impact of co-location interference.
+
+Sweeps a uniform pairwise co-location throughput over
+{1, 0.95, 0.9, 0.85, 0.8} and compares No-Packing, Owl, Eva-RP
+(interference-blind packing) and Eva-TNRP (the full scheduler).  The
+paper's expected shape: Eva-RP's cost and JCT blow up as interference
+grows, while Eva-TNRP holds throughput near Owl's level and stays the
+cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler, OwlScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.core.scheduler import make_eva_variant
+from repro.experiments.common import scaled
+from repro.interference.model import InterferenceModel
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+INTERFERENCE_LEVELS = (1.0, 0.95, 0.9, 0.85, 0.8)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    table: ExperimentTable
+    norm_cost: dict[tuple[str, float], float]  # (scheduler, level) -> cost
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
+    num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+
+    rows = []
+    norm_cost: dict[tuple[str, float], float] = {}
+    for level in INTERFERENCE_LEVELS:
+        interference = InterferenceModel(uniform_value=level)
+        factories = {
+            "No-Packing": lambda: NoPackingScheduler(catalog),
+            "Owl": lambda: OwlScheduler(catalog, profile=interference),
+            "Eva-RP": lambda: make_eva_variant(catalog, "eva-rp"),
+            "Eva-TNRP": lambda: make_eva_variant(catalog, "eva-tnrp"),
+        }
+        results = {
+            name: run_simulation(trace, factory(), interference=interference)
+            for name, factory in factories.items()
+        }
+        baseline = results["No-Packing"].total_cost
+        for name, result in results.items():
+            norm = result.total_cost / baseline
+            norm_cost[(name, level)] = norm
+            rows.append(
+                (
+                    level,
+                    name,
+                    round(norm, 3),
+                    round(result.mean_normalized_tput(), 3),
+                    round(result.mean_jct_hours(), 2),
+                )
+            )
+    table = ExperimentTable(
+        title=f"Figure 4: impact of co-location interference ({num_jobs} jobs)",
+        headers=(
+            "Co-location Tput",
+            "Scheduler",
+            "Norm. Total Cost",
+            "Norm. Throughput",
+            "JCT (hours)",
+        ),
+        rows=tuple(rows),
+        notes=("uniform pairwise throughput applied to every workload pair",),
+    )
+    return Fig4Result(table=table, norm_cost=norm_cost)

@@ -1,0 +1,96 @@
+"""Figure 5 — impact of migration overhead.
+
+Sweeps the job-migration delay multiplier (1×–8×) and reports:
+
+* **(a)** the proportion of rounds where Eva's ensemble adopted Full
+  Reconfiguration, and Eva's migration count per job — both should fall
+  as migration gets more expensive;
+* **(b)** normalized total cost for Eva, Eva without Partial
+  Reconfiguration (Full-only), and Stratus — Full-only should degrade
+  with the multiplier while Eva and Stratus stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler, StratusScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.delays import DelayModel
+from repro.core.scheduler import make_eva_variant
+from repro.experiments.common import scaled
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+DELAY_MULTIPLIERS = (1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    adoption_table: ExperimentTable  # Figure 5a
+    cost_table: ExperimentTable  # Figure 5b
+    full_adoption: dict[float, float]
+    norm_cost: dict[tuple[str, float], float]
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
+    num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+
+    adoption_rows = []
+    cost_rows = []
+    full_adoption: dict[float, float] = {}
+    norm_cost: dict[tuple[str, float], float] = {}
+    for mult in DELAY_MULTIPLIERS:
+        delays = DelayModel(migration_multiplier=mult)
+        baseline = run_simulation(
+            trace, NoPackingScheduler(catalog), delay_model=delays
+        )
+        eva = make_eva_variant(catalog, "eva", delay_model=delays)
+        eva_result = run_simulation(trace, eva, delay_model=delays)
+        adoption = eva.full_adoption_fraction()
+        full_adoption[mult] = adoption
+        adoption_rows.append(
+            (
+                f"{mult:.0f}x",
+                f"{adoption * 100:.1f}%",
+                round(eva_result.migrations / max(1, eva_result.num_jobs), 2),
+            )
+        )
+
+        contenders = {
+            "Eva": eva_result,
+            "Eva Full-only": run_simulation(
+                trace,
+                make_eva_variant(catalog, "eva-full-only", delay_model=delays),
+                delay_model=delays,
+            ),
+            "Stratus": run_simulation(
+                trace, StratusScheduler(catalog), delay_model=delays
+            ),
+        }
+        for name, result in contenders.items():
+            norm = result.total_cost / baseline.total_cost
+            norm_cost[(name, mult)] = norm
+            cost_rows.append((f"{mult:.0f}x", name, round(norm, 3)))
+
+    adoption_table = ExperimentTable(
+        title=f"Figure 5a: Full Reconfiguration adoption vs migration delay "
+        f"({num_jobs} jobs)",
+        headers=("Delay Mult.", "Full Reconfig Adopted", "Migrations per Job"),
+        rows=tuple(adoption_rows),
+    )
+    cost_table = ExperimentTable(
+        title="Figure 5b: normalized total cost vs migration delay",
+        headers=("Delay Mult.", "Scheduler", "Norm. Total Cost"),
+        rows=tuple(cost_rows),
+        notes=("normalized to No-Packing at the same delay multiplier",),
+    )
+    return Fig5Result(
+        adoption_table=adoption_table,
+        cost_table=cost_table,
+        full_adoption=full_adoption,
+        norm_cost=norm_cost,
+    )

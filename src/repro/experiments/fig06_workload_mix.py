@@ -1,0 +1,66 @@
+"""Figure 6 — impact of workload composition (multi-GPU job proportion).
+
+Remixes the Alibaba-like trace so a growing fraction of jobs are
+multi-GPU (2/4/8 GPUs at the paper's 5:4:1 ratio; non-GPU jobs
+untouched) and compares No-Packing, Stratus, Synergy, Eva without Full
+Reconfiguration, and Eva.  Expected shape: packing benefits shrink as
+multi-GPU jobs grow, Eva stays ahead, and dropping Full Reconfiguration
+costs up to ~8% extra at high multi-GPU fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines import NoPackingScheduler, StratusScheduler, SynergyScheduler
+from repro.cloud.catalog import ec2_catalog
+from repro.core.scheduler import make_eva_variant
+from repro.experiments.common import scaled
+from repro.sim.simulator import run_simulation
+from repro.workloads.alibaba import remix_multi_gpu, synthesize_alibaba_trace
+
+MULTI_GPU_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    table: ExperimentTable
+    norm_cost: dict[tuple[str, float], float]
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig6Result:
+    num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
+    catalog = ec2_catalog()
+    base_trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+
+    rows = []
+    norm_cost: dict[tuple[str, float], float] = {}
+    for fraction in MULTI_GPU_FRACTIONS:
+        trace = remix_multi_gpu(base_trace, fraction, seed=seed)
+        factories = {
+            "No-Packing": lambda: NoPackingScheduler(catalog),
+            "Stratus": lambda: StratusScheduler(catalog),
+            "Synergy": lambda: SynergyScheduler(catalog),
+            "Eva w/o Full Reconfig": lambda: make_eva_variant(
+                catalog, "eva-partial-only"
+            ),
+            "Eva": lambda: make_eva_variant(catalog, "eva"),
+        }
+        results = {
+            name: run_simulation(trace, factory())
+            for name, factory in factories.items()
+        }
+        baseline = results["No-Packing"].total_cost
+        for name, result in results.items():
+            norm = result.total_cost / baseline
+            norm_cost[(name, fraction)] = norm
+            rows.append((f"{fraction * 100:.0f}%", name, round(norm, 3)))
+
+    table = ExperimentTable(
+        title=f"Figure 6: impact of multi-GPU job proportion ({num_jobs} jobs)",
+        headers=("Multi-GPU Jobs", "Scheduler", "Norm. Total Cost"),
+        rows=tuple(rows),
+        notes=("2:4:8-GPU mix held at 5:4:1; non-GPU fraction unchanged",),
+    )
+    return Fig6Result(table=table, norm_cost=norm_cost)

@@ -1,0 +1,33 @@
+"""Table 11 — end-to-end experiment with the 32-job trace, all five
+schedulers (No-Packing, Stratus, Synergy, Owl, Eva)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_schedulers,
+    standard_scheduler_factories,
+)
+from repro.analysis.reporting import ExperimentTable
+from repro.cloud.catalog import ec2_catalog
+from repro.workloads.synthetic import small_physical_trace
+
+
+@dataclass(frozen=True)
+class Table11Result:
+    table: ExperimentTable
+    comparison: ComparisonResult
+
+
+def run(seed: int = 0) -> Table11Result:
+    catalog = ec2_catalog()
+    trace = small_physical_trace(seed=seed)
+    comparison = compare_schedulers(
+        trace, standard_scheduler_factories(catalog)
+    )
+    table = comparison.allocation_table(
+        "Table 11: end-to-end experiment with 32 jobs"
+    )
+    return Table11Result(table=table, comparison=comparison)

@@ -1,0 +1,69 @@
+"""Table 12 — simulator fidelity.
+
+The paper compares each scheduler's cost on the 32-job trace measured on
+AWS against the simulator's prediction, finding <5% differences.  Without
+physical hardware we substitute a "physical proxy": the same simulator
+with stochastic delays and throughput-measurement jitter (what a real run
+adds on top of the deterministic model).  The comparison exercises the
+identical code path — deterministic prediction vs noisy execution — and
+the difference column plays the role of the paper's actual-vs-simulated
+gap.  The substitution is documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.analysis.comparison import standard_scheduler_factories
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.delays import DelayModel
+from repro.sim.simulator import run_simulation
+from repro.workloads.synthetic import small_physical_trace
+
+
+@dataclass(frozen=True)
+class Table12Result:
+    table: ExperimentTable
+    max_abs_difference: float
+
+
+def run(seed: int = 0) -> Table12Result:
+    catalog = ec2_catalog()
+    trace = small_physical_trace(seed=seed)
+
+    rows = []
+    max_diff = 0.0
+    for name, factory in standard_scheduler_factories(catalog).items():
+        simulated = run_simulation(trace, factory())
+        physical_proxy = run_simulation(
+            trace,
+            factory(),
+            delay_model=DelayModel(
+                stochastic=True, rng=np.random.default_rng(seed + 1)
+            ),
+        )
+        diff = (simulated.total_cost - physical_proxy.total_cost) / (
+            physical_proxy.total_cost
+        )
+        max_diff = max(max_diff, abs(diff))
+        rows.append(
+            (
+                name,
+                round(physical_proxy.total_cost, 2),
+                round(simulated.total_cost, 2),
+                f"{diff * 100:+.1f}%",
+            )
+        )
+    table = ExperimentTable(
+        title="Table 12: simulator fidelity (stochastic proxy vs deterministic)",
+        headers=("Scheduler", "'Actual' Cost ($)", "Simulated Cost ($)", "Difference"),
+        rows=tuple(rows),
+        notes=(
+            "'actual' = simulator with measured-delay jitter (no AWS access; "
+            "substitution per DESIGN.md §2); paper reports <5% gaps",
+        ),
+    )
+    return Table12Result(table=table, max_abs_difference=max_diff)

@@ -1,0 +1,40 @@
+"""Table 13 — end-to-end simulation with Alibaba job durations.
+
+The headline experiment: the Alibaba-like trace (Table 8 GPU mix, Table 9
+Alibaba durations) under all five schedulers.  The paper's full trace has
+6,274 jobs; the default here is scaled (``EVA_BENCH_SCALE=8`` restores
+full size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_schedulers,
+    standard_scheduler_factories,
+)
+from repro.analysis.reporting import ExperimentTable
+from repro.cloud.catalog import ec2_catalog
+from repro.experiments.common import scaled
+from repro.workloads.alibaba import synthesize_alibaba_trace
+
+
+@dataclass(frozen=True)
+class Table13Result:
+    table: ExperimentTable
+    comparison: ComparisonResult
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Table13Result:
+    num_jobs = num_jobs if num_jobs is not None else scaled(500, minimum=100, maximum=6274)
+    catalog = ec2_catalog()
+    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+    comparison = compare_schedulers(
+        trace, standard_scheduler_factories(catalog)
+    )
+    table = comparison.end_to_end_table(
+        f"Table 13: end-to-end simulation, Alibaba durations ({num_jobs} jobs)"
+    )
+    return Table13Result(table=table, comparison=comparison)

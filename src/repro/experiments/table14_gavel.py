@@ -1,0 +1,47 @@
+"""Table 14 — end-to-end simulation with Gavel job durations.
+
+Same trace construction as Table 13 but durations drawn from the Gavel
+model (10^x minutes; §6.1), emphasising long-running training jobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_schedulers,
+    standard_scheduler_factories,
+)
+from repro.analysis.reporting import ExperimentTable
+from repro.cloud.catalog import ec2_catalog
+from repro.experiments.common import scaled
+from repro.workloads.alibaba import synthesize_alibaba_trace
+from repro.workloads.gavel import sample_gavel_durations_hours
+
+
+@dataclass(frozen=True)
+class Table14Result:
+    table: ExperimentTable
+    comparison: ComparisonResult
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Table14Result:
+    num_jobs = num_jobs if num_jobs is not None else scaled(250, minimum=80, maximum=6274)
+    catalog = ec2_catalog()
+    rng = np.random.default_rng(seed + 7)
+    durations = sample_gavel_durations_hours(rng, num_jobs)
+    trace = synthesize_alibaba_trace(
+        num_jobs,
+        seed=seed,
+        durations_hours=durations,
+        name=f"alibaba-gavel-{num_jobs}",
+    )
+    comparison = compare_schedulers(
+        trace, standard_scheduler_factories(catalog)
+    )
+    table = comparison.end_to_end_table(
+        f"Table 14: end-to-end simulation, Gavel durations ({num_jobs} jobs)"
+    )
+    return Table14Result(table=table, comparison=comparison)

@@ -1,0 +1,20 @@
+"""Co-location interference: Figure-1 matrix and ground-truth model."""
+
+from repro.interference.matrix import (
+    FIGURE1_WORKLOADS,
+    figure1_matrix,
+    pairwise_throughput,
+    resolve_profile_name,
+    uniform_matrix,
+)
+from repro.interference.model import InterferenceModel, no_interference_model
+
+__all__ = [
+    "FIGURE1_WORKLOADS",
+    "figure1_matrix",
+    "pairwise_throughput",
+    "resolve_profile_name",
+    "uniform_matrix",
+    "InterferenceModel",
+    "no_interference_model",
+]

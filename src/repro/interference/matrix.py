@@ -1,0 +1,91 @@
+"""Pairwise co-location throughput matrix (Figure 1).
+
+Each entry ``PAIRWISE[w1][w2]`` is the normalized throughput of workload
+``w1`` when co-located with workload ``w2`` on the same instance, both
+receiving their requested resources on disjoint GPUs/CPUs.  Values are
+transcribed verbatim from Figure 1 of the paper (rows = Workload 1,
+columns = Workload 2).
+
+The evaluation's Table 7 lists ten workloads but Figure 1 profiles eight:
+``ResNet18-2`` / ``ResNet18-4`` share the measured ResNet18 row, and ViT —
+unprofiled in Figure 1 — inherits the ResNet18 row as the closest published
+proxy (both are ImageNet image classifiers with heavy input pipelines).
+This extension is a documented substitution (DESIGN.md §2) and can be
+overridden by supplying a custom matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Figure 1 row/column order.
+FIGURE1_WORKLOADS = (
+    "ResNet18",
+    "GraphSAGE",
+    "CycleGAN",
+    "GPT2",
+    "GCN",
+    "OpenFOAM",
+    "Diamond",
+    "A3C",
+)
+
+#: Figure 1 entries, row-major: rows/cols follow FIGURE1_WORKLOADS.
+_FIGURE1_VALUES: tuple[tuple[float, ...], ...] = (
+    (0.93, 0.97, 1.00, 0.92, 0.83, 0.99, 0.89, 0.83),  # ResNet18
+    (0.89, 0.89, 0.98, 0.97, 0.88, 0.95, 1.00, 0.74),  # GraphSAGE
+    (0.99, 1.00, 0.99, 0.99, 0.85, 1.00, 1.00, 1.00),  # CycleGAN
+    (0.79, 0.96, 0.79, 0.86, 1.00, 0.99, 0.80, 0.78),  # GPT2
+    (0.92, 0.90, 0.95, 0.98, 0.90, 0.99, 0.95, 0.65),  # GCN
+    (0.81, 0.98, 0.98, 0.99, 0.95, 0.97, 0.83, 0.94),  # OpenFOAM
+    (0.96, 0.98, 1.00, 1.00, 0.99, 1.00, 0.93, 0.89),  # Diamond
+    (0.91, 0.91, 0.98, 0.96, 0.94, 1.00, 0.94, 0.67),  # A3C
+)
+
+#: Table-7 workloads that alias a Figure-1 profile.
+_ALIASES: Mapping[str, str] = {
+    "ResNet18-2": "ResNet18",
+    "ResNet18-4": "ResNet18",
+    "ViT": "ResNet18",
+}
+
+
+def figure1_matrix() -> dict[str, dict[str, float]]:
+    """The raw 8×8 Figure 1 matrix as nested dicts."""
+    return {
+        row_name: {
+            col_name: _FIGURE1_VALUES[i][j]
+            for j, col_name in enumerate(FIGURE1_WORKLOADS)
+        }
+        for i, row_name in enumerate(FIGURE1_WORKLOADS)
+    }
+
+
+def resolve_profile_name(workload: str) -> str:
+    """Map a Table-7 workload name to its Figure-1 profile row."""
+    return _ALIASES.get(workload, workload)
+
+
+def pairwise_throughput(workload: str, other: str) -> float:
+    """Ground-truth normalized throughput of ``workload`` next to ``other``.
+
+    Unknown workloads (not in Figure 1 and not aliased) are treated as
+    non-interfering (1.0), matching how a brand-new workload would look
+    before any measurement exists.
+    """
+    matrix = _MATRIX
+    row = resolve_profile_name(workload)
+    col = resolve_profile_name(other)
+    if row not in matrix or col not in matrix[row]:
+        return 1.0
+    return matrix[row][col]
+
+
+_MATRIX = figure1_matrix()
+
+
+def uniform_matrix(value: float, workloads: tuple[str, ...] = FIGURE1_WORKLOADS) -> dict[str, dict[str, float]]:
+    """A constant pairwise matrix — the Figure 4 interference sweep."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"pairwise throughput must be in (0, 1], got {value}")
+    return {w1: {w2: value for w2 in workloads} for w1 in workloads}

@@ -1,0 +1,35 @@
+"""Master–worker deployment runtime (§3, §5): RPC, containers, workers,
+Provisioner, Executor, Profiler, EvaIterator, and the Eva master."""
+
+from repro.runtime.container import (
+    ContainerSpec,
+    ContainerState,
+    GlobalStorage,
+    SimContainer,
+)
+from repro.runtime.executor import Executor, ExecutorStats
+from repro.runtime.iterator import DEFAULT_WINDOW_S, EvaIterator
+from repro.runtime.master import CompletedJob, EvaMaster
+from repro.runtime.profiler import Profiler
+from repro.runtime.provisioner import Provisioner
+from repro.runtime.rpc import RpcBus, RpcChannel, RpcError
+from repro.runtime.worker import Worker
+
+__all__ = [
+    "ContainerSpec",
+    "ContainerState",
+    "GlobalStorage",
+    "SimContainer",
+    "Executor",
+    "ExecutorStats",
+    "DEFAULT_WINDOW_S",
+    "EvaIterator",
+    "CompletedJob",
+    "EvaMaster",
+    "Profiler",
+    "Provisioner",
+    "RpcBus",
+    "RpcChannel",
+    "RpcError",
+    "Worker",
+]

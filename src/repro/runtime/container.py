@@ -1,0 +1,121 @@
+"""Container abstraction (§5).
+
+Tasks execute as containers for portability and environment isolation.
+:class:`ContainerSpec` carries what a user submits — a Dockerfile
+reference, a command, and the per-family resource demand vectors —
+and :class:`SimContainer` emulates the container lifecycle
+(create → run → checkpoint → restore → stop) with iteration progress
+driven by the hosting worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.cluster.resources import ResourceVector
+
+
+class ContainerState(Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    CHECKPOINTED = "checkpointed"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """User-provided execution artifact description.
+
+    Attributes:
+        image: Dockerfile/image reference.
+        command: Entry command inside the container.
+        demands: Per-instance-family resource demand vectors (§5: users
+            may specify multiple vectors to exploit heterogeneity).
+        mounts: Paths mounted from the shared global storage (datasets,
+            checkpoints).
+    """
+
+    image: str
+    command: str
+    demands: Mapping[str, ResourceVector]
+    mounts: tuple[str, ...] = ("/mnt/global",)
+
+
+class ContainerError(RuntimeError):
+    """Raised on invalid lifecycle transitions."""
+
+
+@dataclass
+class SimContainer:
+    """A container instance with simulated iteration progress."""
+
+    container_id: str
+    spec: ContainerSpec
+    state: ContainerState = ContainerState.CREATED
+    iterations_done: float = 0.0
+    checkpoint_iterations: float = 0.0
+    restore_count: int = 0
+
+    def start(self) -> None:
+        if self.state not in (ContainerState.CREATED, ContainerState.CHECKPOINTED):
+            raise ContainerError(f"cannot start container in state {self.state}")
+        if self.state is ContainerState.CHECKPOINTED:
+            # Restoring from the shared storage: resume from checkpoint.
+            self.iterations_done = self.checkpoint_iterations
+            self.restore_count += 1
+        self.state = ContainerState.RUNNING
+
+    def progress(self, iterations: float) -> None:
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"cannot progress container in state {self.state}")
+        if iterations < 0:
+            raise ContainerError("progress must be >= 0")
+        self.iterations_done += iterations
+
+    def checkpoint(self) -> None:
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"cannot checkpoint container in state {self.state}")
+        self.checkpoint_iterations = self.iterations_done
+        self.state = ContainerState.CHECKPOINTED
+
+    def stop(self) -> None:
+        if self.state is ContainerState.STOPPED:
+            raise ContainerError("container already stopped")
+        self.state = ContainerState.STOPPED
+
+    def snapshot(self) -> dict:
+        """RPC-friendly view of the container."""
+        return {
+            "container_id": self.container_id,
+            "state": self.state.value,
+            "iterations_done": self.iterations_done,
+            "restore_count": self.restore_count,
+        }
+
+
+@dataclass
+class GlobalStorage:
+    """Shared storage (the S3 bucket of §6.1) holding checkpoints.
+
+    A flat key → payload map; workers read/write task checkpoints so a
+    migrated container can restore on any instance.
+    """
+
+    _blobs: dict[str, dict] = field(default_factory=dict)
+    writes: int = 0
+
+    def put(self, key: str, payload: dict) -> None:
+        self._blobs[key] = dict(payload)
+        self.writes += 1
+
+    def get(self, key: str) -> dict | None:
+        blob = self._blobs.get(key)
+        return dict(blob) if blob is not None else None
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self._blobs)

@@ -1,0 +1,59 @@
+"""Executor component (§3).
+
+Translates task-level deltas of a target configuration into worker RPCs:
+start tasks that got their first placement, and migrate tasks whose
+instance changed (checkpoint on the source worker, restore on the
+destination).  The Executor is deliberately stateless between calls — the
+authoritative assignment lives in the master's view of the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.task import Task
+from repro.runtime.provisioner import Provisioner
+from repro.runtime.rpc import RpcBus
+
+
+@dataclass
+class ExecutorStats:
+    placements: int = 0
+    migrations: int = 0
+
+
+@dataclass
+class Executor:
+    """Applies task placement/migration operations through worker RPCs."""
+
+    bus: RpcBus
+    provisioner: Provisioner
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+
+    def place_task(self, task: Task, instance_id: str) -> None:
+        """First-time placement of a queued task."""
+        self._launch_on(task, instance_id)
+        self.stats.placements += 1
+
+    def migrate_task(self, task: Task, src_instance_id: str, dst_instance_id: str) -> None:
+        """Checkpoint on the source, restore on the destination."""
+        src = self.provisioner.worker_of(src_instance_id)
+        self.bus.call(src.service_name, "checkpoint_task", task_id=task.task_id)
+        self._launch_on(task, dst_instance_id)
+        self.stats.migrations += 1
+
+    def remove_task(self, task_id: str, instance_id: str) -> None:
+        """Tear down a completed task's container."""
+        worker = self.provisioner.worker_of(instance_id)
+        self.bus.call(worker.service_name, "remove_task", task_id=task_id)
+
+    def _launch_on(self, task: Task, instance_id: str) -> None:
+        worker = self.provisioner.worker_of(instance_id)
+        self.bus.call(
+            worker.service_name,
+            "launch_task",
+            task_id=task.task_id,
+            workload=task.workload,
+            image=f"{task.workload}:latest",
+            command="python train.py",
+        )

@@ -1,0 +1,241 @@
+"""Eva master (§3, §5).
+
+The master is the deployment's control plane: it accepts job submissions,
+runs the Scheduler every period, and drives the Provisioner and Executor
+to realize the chosen configuration.  This in-process implementation uses
+logical time (callers alternate :meth:`advance` and :meth:`run_round`),
+which keeps it deterministic and directly testable; the discrete-event
+simulator (:mod:`repro.sim`) is the tool for delay-accurate evaluation,
+while this runtime demonstrates the deployment architecture end to end —
+RPC surfaces, checkpoint/restore through global storage, throughput
+reporting via EvaIterator-style queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cloud.provider import SimulatedCloud
+from repro.cluster.instance import InstanceType
+from repro.cluster.state import (
+    ClusterSnapshot,
+    InstanceState,
+    diff_configuration,
+)
+from repro.cluster.task import Job
+from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.throughput_table import TaskPlacementObservation
+from repro.interference.model import InterferenceModel
+from repro.runtime.container import GlobalStorage
+from repro.runtime.executor import Executor
+from repro.runtime.provisioner import Provisioner
+from repro.runtime.rpc import RpcBus
+
+
+@dataclass
+class CompletedJob:
+    job_id: str
+    submitted_s: float
+    completed_s: float
+
+    @property
+    def jct_hours(self) -> float:
+        return (self.completed_s - self.submitted_s) / 3600.0
+
+
+@dataclass
+class EvaMaster:
+    """Centralized master orchestrating a cloud-based cluster."""
+
+    catalog: Sequence[InstanceType]
+    scheduler: Scheduler
+    interference: InterferenceModel = field(default_factory=InterferenceModel)
+    period_s: float = 300.0
+    now_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.bus = RpcBus()
+        self.storage = GlobalStorage()
+        self.cloud = SimulatedCloud()
+        self.provisioner = Provisioner(
+            cloud=self.cloud,
+            bus=self.bus,
+            storage=self.storage,
+            interference=self.interference,
+        )
+        self.executor = Executor(bus=self.bus, provisioner=self.provisioner)
+        self._jobs: dict[str, Job] = {}
+        self._submit_times: dict[str, float] = {}
+        self._assignment: dict[str, str] = {}  # task_id -> instance_id
+        self.completed: list[CompletedJob] = []
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit_job(self, job: Job) -> None:
+        """Accept a job (the user supplied a Dockerfile + demand vectors)."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"job {job.job_id} already submitted")
+        self._jobs[job.job_id] = job
+        self._submit_times[job.job_id] = self.now_s
+
+    def live_jobs(self) -> list[Job]:
+        return [self._jobs[jid] for jid in sorted(self._jobs)]
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def advance(self, dt_s: float) -> None:
+        """Advance logical time: workers make progress, jobs may finish."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be >= 0")
+        for worker in self.provisioner.workers.values():
+            worker.advance(dt_s)
+        self.now_s += dt_s
+        self._collect_completions()
+
+    def run_round(self) -> None:
+        """One scheduling round: report throughputs, schedule, apply."""
+        snapshot = self._snapshot()
+        self.scheduler.on_throughput_reports(self._reports())
+        target = self.scheduler.schedule(snapshot)
+        target.validate(snapshot)
+        self._apply(snapshot, target)
+        self.rounds_run += 1
+
+    def run_for(self, hours: float) -> None:
+        """Convenience loop: alternate rounds and progress for ``hours``."""
+        remaining_s = hours * 3600.0
+        while remaining_s > 0:
+            self.run_round()
+            step = min(self.period_s, remaining_s)
+            self.advance(step)
+            remaining_s -= step
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> ClusterSnapshot:
+        tasks = {
+            t.task_id: t for job in self._jobs.values() for t in job.tasks
+        }
+        instances = []
+        for iid in self.provisioner.active_instance_ids():
+            worker = self.provisioner.worker_of(iid)
+            assigned = frozenset(
+                tid for tid, inst in self._assignment.items() if inst == iid
+            )
+            instances.append(
+                InstanceState(instance=worker.instance, task_ids=assigned)
+            )
+        return ClusterSnapshot(
+            time_s=self.now_s, tasks=tasks, jobs=dict(self._jobs), instances=instances
+        )
+
+    def _reports(self) -> tuple[JobThroughputReport, ...]:
+        """Query every worker's throughput and fold into per-job reports."""
+        tputs: dict[str, float] = {}
+        for iid in self.provisioner.active_instance_ids():
+            worker = self.provisioner.worker_of(iid)
+            response = self.bus.call(worker.service_name, "report_throughput")
+            tputs.update(response["throughputs"])
+        reports = []
+        for job in self.live_jobs():
+            task_tputs = [tputs.get(t.task_id) for t in job.tasks]
+            if any(tp is None for tp in task_tputs):
+                continue  # not all tasks running yet
+            placements = tuple(
+                TaskPlacementObservation(
+                    workload=t.workload,
+                    neighbours=tuple(self._neighbours(t.task_id)),
+                )
+                for t in job.tasks
+            )
+            reports.append(
+                JobThroughputReport(
+                    job_id=job.job_id,
+                    normalized_tput=min(task_tputs),  # type: ignore[type-var]
+                    placements=placements,
+                )
+            )
+        return tuple(reports)
+
+    def _neighbours(self, task_id: str) -> list[str]:
+        iid = self._assignment.get(task_id)
+        if iid is None:
+            return []
+        worker = self.provisioner.worker_of(iid)
+        task_index = {
+            t.task_id: t for job in self._jobs.values() for t in job.tasks
+        }
+        return sorted(
+            task_index[tid].workload
+            for tid in worker.hosted_task_ids()
+            if tid != task_id and tid in task_index
+        )
+
+    def _apply(self, snapshot: ClusterSnapshot, target) -> None:
+        diff = diff_configuration(snapshot, target)
+        for ti in diff.launches:
+            self.provisioner.launch(ti, self.now_s)
+        task_index = snapshot.tasks
+        for task_id, src, dst in diff.migrations:
+            task = task_index[task_id]
+            if src is None:
+                self.executor.place_task(task, dst)
+            else:
+                self.executor.migrate_task(task, src, dst)
+            self._assignment[task_id] = dst
+        for iid in diff.terminations:
+            self.provisioner.terminate(iid, self.now_s)
+
+    def _collect_completions(self) -> None:
+        for job in list(self.live_jobs()):
+            done = True
+            for task in job.tasks:
+                iid = self._assignment.get(task.task_id)
+                if iid is None:
+                    done = False
+                    break
+                worker = self.provisioner.worker_of(iid)
+                needed = job.duration_hours * 3600.0  # 1 iter/s standalone
+                if worker.iterations_of(task.task_id) < needed:
+                    done = False
+                    break
+            if not done:
+                continue
+            for task in job.tasks:
+                iid = self._assignment.pop(task.task_id)
+                self.executor.remove_task(task.task_id, iid)
+                worker = self.provisioner.worker_of(iid)
+                if not worker.hosted_task_ids():
+                    self.provisioner.terminate(iid, self.now_s)
+            self.completed.append(
+                CompletedJob(
+                    job_id=job.job_id,
+                    submitted_s=self._submit_times.pop(job.job_id),
+                    completed_s=self.now_s,
+                )
+            )
+            del self._jobs[job.job_id]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_cost(self) -> float:
+        return self.provisioner.total_cost(self.now_s)
+
+    def stats(self) -> dict:
+        return {
+            "now_hours": self.now_s / 3600.0,
+            "total_cost": self.total_cost(),
+            "live_jobs": len(self._jobs),
+            "completed_jobs": len(self.completed),
+            "active_instances": len(self.provisioner.active_instance_ids()),
+            "placements": self.executor.stats.placements,
+            "migrations": self.executor.stats.migrations,
+            "rpc_calls": self.bus.calls_made,
+            "rounds": self.rounds_run,
+        }

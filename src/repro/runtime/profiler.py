@@ -1,0 +1,81 @@
+"""Profiler component (§3).
+
+Jobs may optionally declare their standalone throughput; when they do not,
+the Profiler estimates it by running the task alone on its
+reservation-price instance type for a short window and reading the
+EvaIterator rate.  Estimates are cached per workload — profiling is a
+one-time cost per task type, not per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.instance import InstanceType
+from repro.cluster.task import Task
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.runtime.iterator import EvaIterator
+
+#: Default profiling window, seconds.
+DEFAULT_PROFILE_WINDOW_S = 60.0
+
+
+@dataclass
+class Profiler:
+    """Standalone-throughput estimation with per-workload caching."""
+
+    catalog: Sequence[InstanceType]
+    window_s: float = DEFAULT_PROFILE_WINDOW_S
+    _cache: dict[str, float] = field(default_factory=dict)
+    profiles_run: int = 0
+
+    def __post_init__(self) -> None:
+        self._rp = ReservationPriceCalculator(self.catalog)
+
+    def standalone_throughput(
+        self, task: Task, true_iters_per_s: float = 1.0
+    ) -> float:
+        """Profiled standalone iterations/sec for the task's workload.
+
+        ``true_iters_per_s`` is the (simulated) ground-truth rate the
+        profiling run would observe; the first call per workload "runs"
+        the profile, subsequent calls hit the cache.
+        """
+        cached = self._cache.get(task.workload)
+        if cached is not None:
+            return cached
+        rate = self._run_profile(true_iters_per_s)
+        self._cache[task.workload] = rate
+        self.profiles_run += 1
+        return rate
+
+    def profiling_instance_type(self, task: Task) -> InstanceType:
+        """Where a profile run executes: the task's RP type (standalone)."""
+        return self._rp.rp_type(task)
+
+    def _run_profile(self, true_iters_per_s: float) -> float:
+        """Emulate a profiling window through a real EvaIterator."""
+        clock = _SteppingClock()
+        iterator: EvaIterator = EvaIterator(inner=(), clock=clock.now)
+        step = 1.0 / max(1e-9, true_iters_per_s)
+        while clock.t < self.window_s:
+            clock.advance(step)
+            iterator.record_iteration()
+        return iterator.throughput(window_s=self.window_s)
+
+    def invalidate(self, workload: str) -> None:
+        self._cache.pop(workload, None)
+
+
+class _SteppingClock:
+    """Deterministic logical clock for profile runs."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt

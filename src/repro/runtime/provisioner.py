@@ -1,0 +1,67 @@
+"""Provisioner component (§3).
+
+Translates a target configuration's instance-level deltas into cloud
+operations: launch instances that are new in the target, terminate
+instances that dropped out.  Each launched instance gets a worker
+registered on the RPC bus (in the real system, instance setup installs
+and starts the worker binary — the Table 1 "instance setup" delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.provider import LaunchReceipt, SimulatedCloud
+from repro.cluster.state import TargetInstance
+from repro.interference.model import InterferenceModel
+from repro.runtime.container import GlobalStorage
+from repro.runtime.rpc import RpcBus
+from repro.runtime.worker import Worker
+
+
+@dataclass
+class Provisioner:
+    """Owns the instance fleet and per-instance workers."""
+
+    cloud: SimulatedCloud
+    bus: RpcBus
+    storage: GlobalStorage
+    interference: InterferenceModel = field(default_factory=InterferenceModel)
+    workers: dict[str, Worker] = field(default_factory=dict)
+    ready_times: dict[str, float] = field(default_factory=dict)
+
+    def launch(self, target: TargetInstance, now_s: float) -> LaunchReceipt:
+        """Launch one instance and bring up its worker."""
+        receipt = self.cloud.launch(
+            target.instance_type, now_s, instance=target.instance
+        )
+        worker = Worker(
+            instance=receipt.instance,
+            storage=self.storage,
+            interference=self.interference,
+        )
+        worker.register(self.bus)
+        self.workers[receipt.instance.instance_id] = worker
+        self.ready_times[receipt.instance.instance_id] = receipt.ready_time_s
+        return receipt
+
+    def terminate(self, instance_id: str, now_s: float) -> None:
+        worker = self.workers.pop(instance_id, None)
+        if worker is None:
+            raise KeyError(f"no worker for instance {instance_id}")
+        if worker.hosted_task_ids():
+            raise RuntimeError(
+                f"terminating {instance_id} with live tasks {worker.hosted_task_ids()}"
+            )
+        worker.unregister(self.bus)
+        self.ready_times.pop(instance_id, None)
+        self.cloud.terminate(instance_id, now_s)
+
+    def worker_of(self, instance_id: str) -> Worker:
+        return self.workers[instance_id]
+
+    def active_instance_ids(self) -> list[str]:
+        return sorted(self.workers)
+
+    def total_cost(self, now_s: float) -> float:
+        return self.cloud.total_cost(now_s)

@@ -1,0 +1,93 @@
+"""In-process RPC bus standing in for gRPC (§5).
+
+The real Eva deployment runs a master process that talks to one worker
+per instance over gRPC.  The control-plane logic being transport-agnostic,
+this module provides the same request/response surface as an in-process
+message bus: services register named methods, clients issue unary calls,
+and all payloads must be plain dictionaries (enforced, to keep the code
+honest about what could actually cross a process boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+Payload = Mapping[str, Any]
+Handler = Callable[..., dict]
+
+
+class RpcError(RuntimeError):
+    """Raised for unknown services/methods or handler failures."""
+
+
+def _check_serializable(value: Any, context: str) -> None:
+    """Reject payloads that could not cross a real RPC boundary."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _check_serializable(item, context)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise RpcError(f"{context}: dict keys must be str, got {key!r}")
+            _check_serializable(item, context)
+        return
+    raise RpcError(
+        f"{context}: value of type {type(value).__name__} is not RPC-serializable"
+    )
+
+
+@dataclass
+class RpcChannel:
+    """A bound (service, bus) pair mimicking a gRPC channel stub."""
+
+    service: str
+    bus: "RpcBus"
+
+    def call(self, method: str, **kwargs: Any) -> dict:
+        return self.bus.call(self.service, method, **kwargs)
+
+
+@dataclass
+class RpcBus:
+    """Registry of services and their callable methods."""
+
+    _services: dict[str, dict[str, Handler]] = field(default_factory=dict)
+    calls_made: int = 0
+
+    def register(self, service: str, methods: Mapping[str, Handler]) -> None:
+        if service in self._services:
+            raise RpcError(f"service {service!r} already registered")
+        self._services[service] = dict(methods)
+
+    def unregister(self, service: str) -> None:
+        self._services.pop(service, None)
+
+    def channel(self, service: str) -> RpcChannel:
+        if service not in self._services:
+            raise RpcError(f"no such service {service!r}")
+        return RpcChannel(service=service, bus=self)
+
+    def call(self, service: str, method: str, **kwargs: Any) -> dict:
+        """Unary call: validates request and response payloads."""
+        handlers = self._services.get(service)
+        if handlers is None:
+            raise RpcError(f"no such service {service!r}")
+        handler = handlers.get(method)
+        if handler is None:
+            raise RpcError(f"service {service!r} has no method {method!r}")
+        _check_serializable(dict(kwargs), f"{service}.{method} request")
+        response = handler(**kwargs)
+        if not isinstance(response, dict):
+            raise RpcError(
+                f"{service}.{method} must return a dict, got {type(response).__name__}"
+            )
+        _check_serializable(response, f"{service}.{method} response")
+        self.calls_made += 1
+        return response
+
+    def services(self) -> list[str]:
+        return sorted(self._services)

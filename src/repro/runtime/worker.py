@@ -1,0 +1,156 @@
+"""Worker agent (§5).
+
+One worker runs on every provisioned instance.  It hosts task containers,
+advances their progress (degraded by co-location interference), serves
+throughput queries from the master, and performs checkpoint/restore
+against the shared global storage during migrations.
+
+Workers expose their API over the in-process RPC bus
+(:mod:`repro.runtime.rpc`) exactly as the real deployment does over gRPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.instance import Instance
+from repro.interference.model import InterferenceModel
+from repro.runtime.container import (
+    ContainerSpec,
+    ContainerState,
+    GlobalStorage,
+    SimContainer,
+)
+from repro.runtime.rpc import RpcBus
+
+
+@dataclass
+class _HostedTask:
+    task_id: str
+    workload: str
+    container: SimContainer
+    standalone_iters_per_s: float
+
+
+@dataclass
+class Worker:
+    """Per-instance agent hosting task containers.
+
+    Attributes:
+        instance: The instance this worker runs on.
+        storage: Shared global storage for checkpoints.
+        interference: Ground-truth co-location model degrading progress
+            (stands in for real hardware contention).
+    """
+
+    instance: Instance
+    storage: GlobalStorage
+    interference: InterferenceModel = field(default_factory=InterferenceModel)
+    _tasks: dict[str, _HostedTask] = field(default_factory=dict)
+
+    @property
+    def service_name(self) -> str:
+        return f"worker/{self.instance.instance_id}"
+
+    def register(self, bus: RpcBus) -> None:
+        bus.register(
+            self.service_name,
+            {
+                "launch_task": self.launch_task,
+                "checkpoint_task": self.checkpoint_task,
+                "remove_task": self.remove_task,
+                "report_throughput": self.report_throughput,
+                "list_tasks": self.list_tasks,
+            },
+        )
+
+    def unregister(self, bus: RpcBus) -> None:
+        bus.unregister(self.service_name)
+
+    # ------------------------------------------------------------------
+    # RPC methods (dict in / dict out)
+    # ------------------------------------------------------------------
+    def launch_task(
+        self,
+        task_id: str,
+        workload: str,
+        image: str,
+        command: str,
+        standalone_iters_per_s: float = 1.0,
+    ) -> dict:
+        """Start a task container, restoring from checkpoint if one exists."""
+        if task_id in self._tasks:
+            raise ValueError(f"task {task_id} already on {self.instance.instance_id}")
+        container = SimContainer(
+            container_id=f"{self.instance.instance_id}/{task_id}",
+            spec=ContainerSpec(image=image, command=command, demands={}),
+        )
+        checkpoint = self.storage.get(f"ckpt/{task_id}")
+        if checkpoint is not None:
+            container.checkpoint_iterations = float(checkpoint["iterations"])
+            container.state = ContainerState.CHECKPOINTED
+        container.start()
+        self._tasks[task_id] = _HostedTask(
+            task_id=task_id,
+            workload=workload,
+            container=container,
+            standalone_iters_per_s=standalone_iters_per_s,
+        )
+        return {"restored": checkpoint is not None}
+
+    def checkpoint_task(self, task_id: str) -> dict:
+        """Checkpoint a task to global storage and remove it locally."""
+        hosted = self._tasks.pop(task_id, None)
+        if hosted is None:
+            raise ValueError(f"task {task_id} not on {self.instance.instance_id}")
+        hosted.container.checkpoint()
+        self.storage.put(
+            f"ckpt/{task_id}",
+            {"iterations": hosted.container.iterations_done},
+        )
+        return {"iterations": hosted.container.iterations_done}
+
+    def remove_task(self, task_id: str) -> dict:
+        """Stop and discard a task (job completed)."""
+        hosted = self._tasks.pop(task_id, None)
+        if hosted is None:
+            return {"removed": False}
+        hosted.container.stop()
+        self.storage.delete(f"ckpt/{task_id}")
+        return {"removed": True}
+
+    def report_throughput(self) -> dict:
+        """Normalized throughput per hosted task (the EvaIterator query)."""
+        return {
+            "throughputs": {
+                tid: self._task_tput(hosted) for tid, hosted in self._tasks.items()
+            }
+        }
+
+    def list_tasks(self) -> dict:
+        return {"task_ids": sorted(self._tasks)}
+
+    # ------------------------------------------------------------------
+    # Simulation hooks (not RPC)
+    # ------------------------------------------------------------------
+    def _task_tput(self, hosted: _HostedTask) -> float:
+        neighbours = [
+            other.workload
+            for tid, other in self._tasks.items()
+            if tid != hosted.task_id
+        ]
+        return self.interference.task_throughput(hosted.workload, neighbours)
+
+    def advance(self, dt_s: float) -> None:
+        """Advance all hosted containers by ``dt_s`` of wall time."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be >= 0")
+        for hosted in self._tasks.values():
+            rate = self._task_tput(hosted) * hosted.standalone_iters_per_s
+            hosted.container.progress(rate * dt_s)
+
+    def iterations_of(self, task_id: str) -> float:
+        return self._tasks[task_id].container.iterations_done
+
+    def hosted_task_ids(self) -> list[str]:
+        return sorted(self._tasks)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation: engine, cluster simulator, metrics."""
+
+from repro.sim.engine import Event, EventKind, EventQueue
+from repro.sim.metrics import (
+    AllocationIntegrator,
+    JobOutcome,
+    SimulationResult,
+    normalize_costs,
+)
+from repro.sim.simulator import (
+    DEFAULT_PERIOD_S,
+    ClusterSimulator,
+    SimulationError,
+    SpotConfig,
+    run_simulation,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "AllocationIntegrator",
+    "JobOutcome",
+    "SimulationResult",
+    "normalize_costs",
+    "DEFAULT_PERIOD_S",
+    "ClusterSimulator",
+    "SimulationError",
+    "SpotConfig",
+    "run_simulation",
+]

@@ -1,0 +1,68 @@
+"""Discrete-event engine.
+
+A minimal, allocation-light event queue: events are (time, priority,
+sequence, kind, payload) tuples ordered by time, then priority (lower
+first), then insertion order.  Stale events are handled by the payload's
+owner via version counters — the engine itself never cancels.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+
+class EventKind(IntEnum):
+    """Event kinds, ordered by same-timestamp processing priority.
+
+    Arrivals are seen before the round so the scheduler can place them;
+    task readiness and job completion precede the round so it observes
+    up-to-date state; terminations run after migrations have detached.
+    """
+
+    JOB_ARRIVAL = 0
+    TASK_READY = 1
+    JOB_FINISH = 2
+    INSTANCE_PREEMPTION = 3
+    INSTANCE_TERMINATE = 4
+    SCHEDULING_ROUND = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    time_s: float
+    kind: EventKind
+    payload: Any = None
+
+
+@dataclass
+class EventQueue:
+    """Priority queue of simulation events."""
+
+    _heap: list[tuple[float, int, int, Event]] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def push(self, event: Event) -> None:
+        if event.time_s < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time_s}")
+        heapq.heappush(
+            self._heap,
+            (event.time_s, int(event.kind), next(self._counter), event),
+        )
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

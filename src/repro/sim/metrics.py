@@ -1,0 +1,186 @@
+"""Simulation metrics (§6.1).
+
+Collects the statistics the paper reports: total dollar cost, per-job JCT
+and idle time, normalized job throughput, time-weighted resource
+allocation (Figure/Table columns "Avg. Resource Alloc."), time-weighted
+tasks-per-instance, migration counts, instances launched, and per-instance
+uptimes (the Figure 3 CDF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.resources import RESOURCE_NAMES
+
+
+@dataclass
+class JobOutcome:
+    """Per-job record produced by the simulator."""
+
+    job_id: str
+    workload: str
+    num_tasks: int
+    arrival_s: float
+    finish_s: float
+    duration_hours: float
+    idle_hours: float
+
+    @property
+    def jct_hours(self) -> float:
+        return (self.finish_s - self.arrival_s) / 3600.0
+
+    @property
+    def active_hours(self) -> float:
+        return max(1e-12, self.jct_hours - self.idle_hours)
+
+    @property
+    def normalized_tput(self) -> float:
+        """Standalone duration over active (non-idle) execution time.
+
+        Equals 1.0 when the job ran without interference; lower when
+        co-location stretched execution.
+        """
+        return min(1.0, self.duration_hours / self.active_hours)
+
+
+@dataclass
+class AllocationIntegrator:
+    """Time-weighted integrals of allocated vs provisioned resources.
+
+    ``accumulate`` is called with the current cluster aggregates before
+    every state change; ratios are integrals of allocated over integrals
+    of capacity (per resource), matching "average resource allocation".
+    """
+
+    allocated_integral: dict[str, float] = field(
+        default_factory=lambda: {r: 0.0 for r in RESOURCE_NAMES}
+    )
+    capacity_integral: dict[str, float] = field(
+        default_factory=lambda: {r: 0.0 for r in RESOURCE_NAMES}
+    )
+    task_instance_integral: float = 0.0
+    instance_time_integral: float = 0.0
+
+    def accumulate(
+        self,
+        dt_s: float,
+        allocated: Mapping[str, float],
+        capacity: Mapping[str, float],
+        num_tasks_assigned: int,
+        num_instances: int,
+    ) -> None:
+        if dt_s <= 0:
+            return
+        for r in RESOURCE_NAMES:
+            self.allocated_integral[r] += allocated[r] * dt_s
+            self.capacity_integral[r] += capacity[r] * dt_s
+        self.task_instance_integral += num_tasks_assigned * dt_s
+        self.instance_time_integral += num_instances * dt_s
+
+    def allocation_ratios(self) -> dict[str, float]:
+        return {
+            r: (
+                self.allocated_integral[r] / self.capacity_integral[r]
+                if self.capacity_integral[r] > 0
+                else 0.0
+            )
+            for r in RESOURCE_NAMES
+        }
+
+    def tasks_per_instance(self) -> float:
+        if self.instance_time_integral <= 0:
+            return 0.0
+        return self.task_instance_integral / self.instance_time_integral
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulated run."""
+
+    scheduler_name: str
+    trace_name: str
+    total_cost: float
+    jobs: list[JobOutcome]
+    instances_launched: int
+    migrations: int
+    placements: int
+    uptimes_hours: list[float]
+    allocation: dict[str, float]
+    tasks_per_instance: float
+    makespan_hours: float
+    full_adoption_fraction: float | None = None
+    scheduling_rounds: int = 0
+    preemptions: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(j.num_tasks for j in self.jobs)
+
+    def mean_jct_hours(self) -> float:
+        return mean(j.jct_hours for j in self.jobs) if self.jobs else 0.0
+
+    def mean_idle_hours(self) -> float:
+        return mean(j.idle_hours for j in self.jobs) if self.jobs else 0.0
+
+    def mean_normalized_tput(self) -> float:
+        return mean(j.normalized_tput for j in self.jobs) if self.jobs else 1.0
+
+    def migrations_per_task(self) -> float:
+        return self.migrations / self.num_tasks if self.num_tasks else 0.0
+
+    def uptime_cdf(self, points: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """(uptime_hours, cumulative_fraction) pairs for the Figure 3 CDF."""
+        if not self.uptimes_hours:
+            return np.array([]), np.array([])
+        xs = np.sort(np.array(self.uptimes_hours))
+        ys = np.arange(1, len(xs) + 1) / len(xs)
+        if len(xs) > points:
+            idx = np.linspace(0, len(xs) - 1, points).astype(int)
+            xs, ys = xs[idx], ys[idx]
+        return xs, ys
+
+    def normalized_cost(self, baseline: "SimulationResult") -> float:
+        """Cost relative to a baseline run (the paper's Norm. Cost)."""
+        if baseline.total_cost <= 0:
+            return float("inf")
+        return self.total_cost / baseline.total_cost
+
+    def summary_row(self) -> dict[str, float | str]:
+        """Flat dict for table rendering."""
+        return {
+            "scheduler": self.scheduler_name,
+            "total_cost": round(self.total_cost, 2),
+            "instances": self.instances_launched,
+            "migrations_per_task": round(self.migrations_per_task(), 3),
+            "tasks_per_instance": round(self.tasks_per_instance, 2),
+            "gpu_alloc": round(self.allocation["gpus"], 3),
+            "cpu_alloc": round(self.allocation["cpus"], 3),
+            "ram_alloc": round(self.allocation["ram_gb"], 3),
+            "norm_tput": round(self.mean_normalized_tput(), 3),
+            "jct_hours": round(self.mean_jct_hours(), 2),
+            "idle_hours": round(self.mean_idle_hours(), 3),
+        }
+
+
+def normalize_costs(
+    results: Sequence[SimulationResult], baseline_name: str = "No-Packing"
+) -> dict[str, float]:
+    """Normalized total costs relative to the named baseline's run."""
+    baseline = next(
+        (r for r in results if r.scheduler_name == baseline_name), None
+    )
+    if baseline is None:
+        raise ValueError(f"no result named {baseline_name!r} to normalize against")
+    return {r.scheduler_name: r.normalized_cost(baseline) for r in results}

@@ -1,0 +1,653 @@
+"""High-fidelity cluster simulator (§5).
+
+The simulator replays a trace against a scheduler exactly as a real
+deployment would: jobs arrive, the scheduler runs at every scheduling
+period, the Provisioner/Executor operations it implies (instance launches
+and terminations, task placements and migrations) are applied with the
+measured Table 1 delays, and job progress accrues at interference-degraded
+rates drawn from the ground-truth model (Figure 1 data).  The scheduler
+never sees the ground truth — interference reaches it only through
+per-round throughput reports, as in the real system.
+
+Cost accounting bills every instance per second from launch request to
+termination, so acquisition/setup delays and migration stalls show up as
+paid-but-idle time (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.delays import DelayModel
+from repro.cloud.provider import SimulatedCloud
+from repro.cluster.resources import RESOURCE_NAMES
+from repro.cluster.state import (
+    ClusterSnapshot,
+    InstanceState,
+    TargetConfiguration,
+    diff_configuration,
+)
+from repro.cluster.task import Job, Task
+from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.throughput_table import TaskPlacementObservation
+from repro.interference.model import InterferenceModel
+from repro.sim.engine import Event, EventKind, EventQueue
+from repro.sim.metrics import AllocationIntegrator, JobOutcome, SimulationResult
+from repro.workloads.trace import Trace
+
+#: Default scheduling period (§3 suggests e.g. 5 minutes).
+DEFAULT_PERIOD_S = 300.0
+
+
+@dataclass(frozen=True)
+class SpotConfig:
+    """Spot-market configuration (the §7 "cheaper, preemptible spot
+    instances" extension).
+
+    When enabled, every launch is a spot request: billed at
+    ``SimulatedCloud.spot_discount`` of the on-demand price, and
+    preempted after an exponentially distributed lifetime with the given
+    rate.  Preempted instances vanish; their tasks are checkpointed (the
+    two-minute interruption notice suffices for the Table-7 checkpoint
+    times) and return to the queue for the next scheduling round.
+    """
+
+    enabled: bool = False
+    preemption_rate_per_hour: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.preemption_rate_per_hour <= 0:
+            raise ValueError("preemption rate must be positive when enabled")
+
+_WORK_EPS = 1e-9
+
+
+class TaskStatus(Enum):
+    QUEUED = "queued"  # never placed
+    PENDING = "pending"  # placed; waiting for instance/migration delays
+    RUNNING = "running"
+
+
+@dataclass
+class _TaskRT:
+    task: Task
+    status: TaskStatus = TaskStatus.QUEUED
+    instance_id: str | None = None
+    resume_version: int = 0
+
+
+@dataclass
+class _JobRT:
+    job: Job
+    arrival_s: float
+    work_done_h: float = 0.0
+    rate: float = 0.0
+    last_update_s: float = 0.0
+    idle_h: float = 0.0
+    finish_version: int = 0
+    finished: bool = False
+    finish_s: float = 0.0
+
+    def advance(self, now_s: float) -> None:
+        """Integrate progress (and idle time) up to ``now_s``."""
+        dt_h = (now_s - self.last_update_s) / 3600.0
+        if dt_h <= 0:
+            return
+        if self.rate > 0:
+            self.work_done_h += self.rate * dt_h
+        else:
+            self.idle_h += dt_h
+        self.last_update_s = now_s
+
+    @property
+    def remaining_h(self) -> float:
+        return max(0.0, self.job.duration_hours - self.work_done_h)
+
+
+@dataclass
+class _InstanceRT:
+    instance_state_instance: object  # Instance; kept loose to avoid import cycle
+    ready_time_s: float
+    assigned: set[str] = field(default_factory=set)
+    alive: bool = True
+
+    @property
+    def instance(self):
+        return self.instance_state_instance
+
+    @property
+    def instance_id(self) -> str:
+        return self.instance.instance_id
+
+
+class SimulationError(RuntimeError):
+    """Raised on internal inconsistencies or runaway simulations."""
+
+
+class ClusterSimulator:
+    """Replays a trace against one scheduler and collects metrics.
+
+    Args:
+        trace: Arrival-ordered jobs.
+        scheduler: Any :class:`~repro.core.interfaces.Scheduler`.
+        interference: Ground-truth co-location model (Figure 1 data by
+            default).
+        delay_model: Reconfiguration delay model (Table 1 means by
+            default).
+        period_s: Scheduling period.
+        validate: Validate every target configuration against its
+            snapshot (slower; on by default in tests).
+        max_sim_hours: Safety bound on simulated time.
+        spot: Optional spot-market configuration (discounted, preemptible
+            instances).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        scheduler: Scheduler,
+        interference: InterferenceModel | None = None,
+        delay_model: DelayModel | None = None,
+        period_s: float = DEFAULT_PERIOD_S,
+        validate: bool = False,
+        max_sim_hours: float = 24.0 * 365 * 10,
+        spot: SpotConfig | None = None,
+    ):
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.trace = trace
+        self.scheduler = scheduler
+        self.interference = interference or InterferenceModel()
+        self.delay_model = delay_model or DelayModel()
+        self.period_s = period_s
+        self.validate = validate
+        self.max_sim_hours = max_sim_hours
+        self.spot = spot or SpotConfig()
+        self._spot_rng = np.random.default_rng(self.spot.seed)
+        self._preemptions = 0
+
+        self.cloud = SimulatedCloud(delay_model=self.delay_model)
+        self.queue = EventQueue()
+        self.now_s = 0.0
+
+        self._jobs: dict[str, _JobRT] = {}
+        self._tasks: dict[str, _TaskRT] = {}
+        self._instances: dict[str, _InstanceRT] = {}
+        self._terminate_holds: dict[str, float] = {}
+        self._round_pending = False
+        self._finished_jobs = 0
+        self._outcomes: list[JobOutcome] = []
+        self._migrations = 0
+        self._placements = 0
+        self._rounds = 0
+        self._alloc = AllocationIntegrator()
+        self._accounting_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        for job in self.trace:
+            self.queue.push(Event(job.arrival_time_s, EventKind.JOB_ARRIVAL, job))
+        total_jobs = len(self.trace)
+
+        while self.queue:
+            event = self.queue.pop()
+            if event.time_s > self.max_sim_hours * 3600.0:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_sim_hours} hours"
+                )
+            self._account_until(event.time_s)
+            self.now_s = event.time_s
+            self._dispatch(event)
+            if self._finished_jobs == total_jobs:
+                break
+
+        self._drain_terminations()
+        end_s = self.now_s
+        uptimes = self.cloud.ledger.uptimes_hours(end_s)
+        full_fraction = None
+        adoption = getattr(self.scheduler, "full_adoption_fraction", None)
+        if callable(adoption):
+            full_fraction = adoption()
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            trace_name=self.trace.name,
+            total_cost=self.cloud.total_cost(end_s),
+            jobs=sorted(self._outcomes, key=lambda o: o.job_id),
+            instances_launched=self.cloud.ledger.instances_launched(),
+            migrations=self._migrations,
+            placements=self._placements,
+            uptimes_hours=uptimes,
+            allocation=self._alloc.allocation_ratios(),
+            tasks_per_instance=self._alloc.tasks_per_instance(),
+            makespan_hours=end_s / 3600.0,
+            full_adoption_fraction=full_fraction,
+            scheduling_rounds=self._rounds,
+            preemptions=self._preemptions,
+        )
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        if event.kind == EventKind.JOB_ARRIVAL:
+            self._on_arrival(event.payload)
+        elif event.kind == EventKind.TASK_READY:
+            task_id, version = event.payload
+            self._on_task_ready(task_id, version)
+        elif event.kind == EventKind.JOB_FINISH:
+            job_id, version = event.payload
+            self._on_job_finish(job_id, version)
+        elif event.kind == EventKind.INSTANCE_PREEMPTION:
+            self._on_instance_preemption(event.payload)
+        elif event.kind == EventKind.INSTANCE_TERMINATE:
+            self._on_instance_terminate(event.payload)
+        elif event.kind == EventKind.SCHEDULING_ROUND:
+            self._on_round()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind}")
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def _on_arrival(self, job: Job) -> None:
+        rt = _JobRT(job=job, arrival_s=self.now_s, last_update_s=self.now_s)
+        self._jobs[job.job_id] = rt
+        for task in job.tasks:
+            self._tasks[task.task_id] = _TaskRT(task=task)
+        self._ensure_round_scheduled()
+
+    def _ensure_round_scheduled(self) -> None:
+        if self._round_pending:
+            return
+        periods_done = int(self.now_s // self.period_s)
+        next_round = periods_done * self.period_s
+        if next_round < self.now_s:
+            next_round = (periods_done + 1) * self.period_s
+        # An arrival exactly on a period boundary is handled by the round
+        # at that same timestamp (rounds sort after arrivals).
+        self.queue.push(Event(next_round, EventKind.SCHEDULING_ROUND))
+        self._round_pending = True
+
+    # ------------------------------------------------------------------
+    # Scheduling rounds
+    # ------------------------------------------------------------------
+    def _live_job_ids(self) -> list[str]:
+        return [jid for jid, rt in self._jobs.items() if not rt.finished]
+
+    def _on_round(self) -> None:
+        self._round_pending = False
+        live = self._live_job_ids()
+        if not live:
+            return  # next arrival re-arms the round cadence
+        self._rounds += 1
+
+        self._advance_all(live)
+        snapshot = self._snapshot(live)
+        self.scheduler.on_throughput_reports(self._throughput_reports(live))
+        target = self.scheduler.schedule(snapshot)
+        if self.validate:
+            target.validate(snapshot)
+        self._apply(snapshot, target)
+        self._refresh_rates(live)
+
+        self.queue.push(
+            Event(self.now_s + self.period_s, EventKind.SCHEDULING_ROUND)
+        )
+        self._round_pending = True
+
+    def _snapshot(self, live: Sequence[str]) -> ClusterSnapshot:
+        tasks: dict[str, Task] = {}
+        jobs: dict[str, Job] = {}
+        for jid in live:
+            job = self._jobs[jid].job
+            jobs[jid] = job
+            for task in job.tasks:
+                tasks[task.task_id] = task
+        instances = [
+            InstanceState(
+                instance=rt.instance, task_ids=frozenset(rt.assigned)
+            )
+            for rt in self._instances.values()
+            if rt.alive
+        ]
+        instances.sort(key=lambda s: s.instance_id)
+        return ClusterSnapshot(
+            time_s=self.now_s, tasks=tasks, jobs=jobs, instances=instances
+        )
+
+    def _throughput_reports(
+        self, live: Sequence[str]
+    ) -> tuple[JobThroughputReport, ...]:
+        """Ground-truth job throughputs for fully running jobs (§5)."""
+        reports = []
+        for jid in sorted(live):
+            rt = self._jobs[jid]
+            task_rts = [self._tasks[t.task_id] for t in rt.job.tasks]
+            if any(t.status is not TaskStatus.RUNNING for t in task_rts):
+                continue
+            placements = tuple(
+                TaskPlacementObservation(
+                    workload=t.task.workload,
+                    neighbours=tuple(self._running_neighbours(t)),
+                )
+                for t in task_rts
+            )
+            reports.append(
+                JobThroughputReport(
+                    job_id=jid,
+                    normalized_tput=self._job_rate(rt),
+                    placements=placements,
+                )
+            )
+        return tuple(reports)
+
+    # ------------------------------------------------------------------
+    # Applying a target configuration
+    # ------------------------------------------------------------------
+    def _apply(self, snapshot: ClusterSnapshot, target: TargetConfiguration) -> None:
+        diff = diff_configuration(snapshot, target)
+
+        for ti in diff.launches:
+            receipt = self.cloud.launch(
+                ti.instance_type,
+                self.now_s,
+                instance=ti.instance,
+                spot=self.spot.enabled,
+            )
+            self._instances[ti.instance_id] = _InstanceRT(
+                instance_state_instance=ti.instance,
+                ready_time_s=receipt.ready_time_s,
+            )
+            if self.spot.enabled:
+                lifetime_s = float(
+                    self._spot_rng.exponential(
+                        3600.0 / self.spot.preemption_rate_per_hour
+                    )
+                )
+                self.queue.push(
+                    Event(
+                        self.now_s + lifetime_s,
+                        EventKind.INSTANCE_PREEMPTION,
+                        ti.instance_id,
+                    )
+                )
+
+        hold_until: dict[str, float] = {}
+        for task_id, src, dst in diff.migrations:
+            task_rt = self._tasks[task_id]
+            task = task_rt.task
+            checkpoint_done = self.now_s
+            if src is not None:
+                src_rt = self._instances[src]
+                src_rt.assigned.discard(task_id)
+                checkpoint = self.delay_model.checkpoint_s(
+                    task.migration.checkpoint_s
+                )
+                hold_until[src] = max(
+                    hold_until.get(src, 0.0), self.now_s + checkpoint
+                )
+                checkpoint_done = self.now_s + checkpoint
+                self._migrations += 1
+            else:
+                self._placements += 1
+            dst_rt = self._instances[dst]
+            dst_rt.assigned.add(task_id)
+            task_rt.instance_id = dst
+            task_rt.status = TaskStatus.PENDING
+            task_rt.resume_version += 1
+            # Delays are sequential (Table 1): the checkpoint must finish
+            # AND the destination must be up before the task launch delay
+            # starts.
+            launch = self.delay_model.launch_s(task.migration.launch_s)
+            resume = max(dst_rt.ready_time_s, checkpoint_done) + launch
+            self.queue.push(
+                Event(
+                    resume,
+                    EventKind.TASK_READY,
+                    (task_id, task_rt.resume_version),
+                )
+            )
+
+        for iid in diff.terminations:
+            rt = self._instances.get(iid)
+            if rt is None or not rt.alive:
+                continue
+            if rt.assigned:
+                raise SimulationError(
+                    f"terminating instance {iid} with assigned tasks {rt.assigned}"
+                )
+            rt.alive = False
+            when = hold_until.get(iid, self.now_s)
+            if when <= self.now_s:
+                self.cloud.terminate(iid, self.now_s)
+                del self._instances[iid]
+            else:
+                self._terminate_holds[iid] = when
+                self.queue.push(Event(when, EventKind.INSTANCE_TERMINATE, iid))
+
+    # ------------------------------------------------------------------
+    # Task / job / instance events
+    # ------------------------------------------------------------------
+    def _on_task_ready(self, task_id: str, version: int) -> None:
+        task_rt = self._tasks.get(task_id)
+        if task_rt is None or task_rt.resume_version != version:
+            return
+        job_rt = self._jobs.get(task_rt.task.job_id)
+        if job_rt is None or job_rt.finished:
+            return
+        affected = self._jobs_sharing_instance(task_rt.instance_id)
+        affected.add(task_rt.task.job_id)
+        self._advance_all(affected)
+        task_rt.status = TaskStatus.RUNNING
+        self._refresh_rates(affected)
+
+    def _on_job_finish(self, job_id: str, version: int) -> None:
+        job_rt = self._jobs.get(job_id)
+        if job_rt is None or job_rt.finished or job_rt.finish_version != version:
+            return  # stale event from a superseded rate estimate
+        job_rt.advance(self.now_s)
+        if job_rt.remaining_h > 1e-6:
+            raise SimulationError(
+                f"job {job_id} finish event fired with {job_rt.remaining_h:.6f}h left"
+            )
+        affected: set[str] = set()
+        for task in job_rt.job.tasks:
+            task_rt = self._tasks[task.task_id]
+            iid = task_rt.instance_id
+            if iid is not None:
+                affected |= self._jobs_sharing_instance(iid)
+        affected.discard(job_id)
+        self._advance_all(affected)
+
+        job_rt.finished = True
+        job_rt.finish_s = self.now_s
+        self._finished_jobs += 1
+        for task in job_rt.job.tasks:
+            task_rt = self._tasks[task.task_id]
+            iid = task_rt.instance_id
+            if iid is not None and iid in self._instances:
+                inst = self._instances[iid]
+                inst.assigned.discard(task.task_id)
+                if not inst.assigned and inst.alive:
+                    inst.alive = False
+                    self.cloud.terminate(iid, self.now_s)
+                    del self._instances[iid]
+            del self._tasks[task.task_id]
+        self._outcomes.append(
+            JobOutcome(
+                job_id=job_id,
+                workload=job_rt.job.workload,
+                num_tasks=job_rt.job.num_tasks,
+                arrival_s=job_rt.arrival_s,
+                finish_s=self.now_s,
+                duration_hours=job_rt.job.duration_hours,
+                idle_hours=job_rt.idle_h,
+            )
+        )
+        del self._jobs[job_id]
+        self._refresh_rates(affected)
+
+    def _on_instance_preemption(self, instance_id: str) -> None:
+        """The spot market reclaims an instance: tasks return to the queue.
+
+        Progress is preserved — the interruption notice covers the
+        checkpoint — but the tasks wait for the next scheduling round and
+        pay fresh launch delays wherever they land.
+        """
+        rt = self._instances.get(instance_id)
+        if rt is None or not rt.alive:
+            return  # already terminated; stale preemption draw
+        affected = self._jobs_sharing_instance(instance_id)
+        self._advance_all(affected)
+        for task_id in sorted(rt.assigned):
+            task_rt = self._tasks.get(task_id)
+            if task_rt is None:
+                continue
+            task_rt.status = TaskStatus.QUEUED
+            task_rt.instance_id = None
+            task_rt.resume_version += 1
+        rt.assigned.clear()
+        rt.alive = False
+        self.cloud.terminate(instance_id, self.now_s)
+        del self._instances[instance_id]
+        self._preemptions += 1
+        self._refresh_rates(affected)
+        self._ensure_round_scheduled()
+
+    def _on_instance_terminate(self, instance_id: str) -> None:
+        when = self._terminate_holds.pop(instance_id, None)
+        if when is None:
+            return
+        self.cloud.terminate(instance_id, self.now_s)
+        self._instances.pop(instance_id, None)
+
+    def _drain_terminations(self) -> None:
+        """Flush checkpoint-hold terminations left in the queue at the end."""
+        while self.queue:
+            event = self.queue.pop()
+            if event.kind == EventKind.INSTANCE_TERMINATE:
+                self._account_until(event.time_s)
+                self.now_s = max(self.now_s, event.time_s)
+                self._on_instance_terminate(event.payload)
+        for iid, rt in sorted(self._instances.items()):
+            if rt.alive:
+                self.cloud.terminate(iid, self.now_s)
+        self._instances.clear()
+
+    # ------------------------------------------------------------------
+    # Rates and progress
+    # ------------------------------------------------------------------
+    def _running_neighbours(self, task_rt: _TaskRT) -> list[str]:
+        iid = task_rt.instance_id
+        if iid is None or iid not in self._instances:
+            return []
+        inst = self._instances[iid]
+        return sorted(
+            self._tasks[tid].task.workload
+            for tid in inst.assigned
+            if tid != task_rt.task.task_id
+            and self._tasks[tid].status is TaskStatus.RUNNING
+        )
+
+    def _job_rate(self, job_rt: _JobRT) -> float:
+        rate = 1.0
+        for task in job_rt.job.tasks:
+            task_rt = self._tasks[task.task_id]
+            if task_rt.status is not TaskStatus.RUNNING:
+                return 0.0
+            tput = self.interference.task_throughput(
+                task.workload, self._running_neighbours(task_rt)
+            )
+            rate = min(rate, tput)
+        return rate
+
+    def _jobs_sharing_instance(self, instance_id: str | None) -> set[str]:
+        if instance_id is None or instance_id not in self._instances:
+            return set()
+        return {
+            self._tasks[tid].task.job_id
+            for tid in self._instances[instance_id].assigned
+            if tid in self._tasks
+        }
+
+    def _advance_all(self, job_ids: Sequence[str] | set[str]) -> None:
+        for jid in job_ids:
+            rt = self._jobs.get(jid)
+            if rt is not None and not rt.finished:
+                rt.advance(self.now_s)
+
+    def _refresh_rates(self, job_ids: Sequence[str] | set[str]) -> None:
+        for jid in sorted(job_ids):
+            rt = self._jobs.get(jid)
+            if rt is None or rt.finished:
+                continue
+            new_rate = self._job_rate(rt)
+            if abs(new_rate - rt.rate) < 1e-12 and rt.finish_version > 0:
+                continue
+            rt.rate = new_rate
+            rt.finish_version += 1
+            if new_rate > 0:
+                eta_s = self.now_s + (rt.remaining_h / new_rate) * 3600.0
+                self.queue.push(
+                    Event(
+                        max(eta_s, self.now_s),
+                        EventKind.JOB_FINISH,
+                        (jid, rt.finish_version),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account_until(self, time_s: float) -> None:
+        dt = time_s - self._accounting_time_s
+        if dt <= 0:
+            return
+        allocated = {r: 0.0 for r in RESOURCE_NAMES}
+        capacity = {r: 0.0 for r in RESOURCE_NAMES}
+        num_tasks = 0
+        num_instances = 0
+        for rt in self._instances.values():
+            if not rt.alive:
+                continue
+            num_instances += 1
+            itype = rt.instance.instance_type
+            for r in RESOURCE_NAMES:
+                capacity[r] += itype.capacity.get(r)
+            for tid in rt.assigned:
+                task = self._tasks[tid].task
+                demand = task.demand_for(itype.family)
+                for r in RESOURCE_NAMES:
+                    allocated[r] += demand.get(r)
+                num_tasks += 1
+        self._alloc.accumulate(dt, allocated, capacity, num_tasks, num_instances)
+        self._accounting_time_s = time_s
+
+
+def run_simulation(
+    trace: Trace,
+    scheduler: Scheduler,
+    interference: InterferenceModel | None = None,
+    delay_model: DelayModel | None = None,
+    period_s: float = DEFAULT_PERIOD_S,
+    validate: bool = False,
+    spot: SpotConfig | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: simulate ``trace`` under ``scheduler``."""
+    sim = ClusterSimulator(
+        trace=trace,
+        scheduler=scheduler,
+        interference=interference,
+        delay_model=delay_model,
+        period_s=period_s,
+        validate=validate,
+        spot=spot,
+    )
+    return sim.run()

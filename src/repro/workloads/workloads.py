@@ -1,0 +1,123 @@
+"""The ten evaluated batch workloads (Table 7).
+
+Each workload defines per-task resource demands (with the CPU demand split
+between P3 and C7i/R7i families, per the Table 7 footnote: C7i/R7i CPUs are
+higher-frequency, so CPU jobs need fewer of them), migration delays
+(checkpoint + launch), and the number of tasks per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import DEFAULT_FAMILY, Job, MigrationDelays, make_job
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Static description of one Table-7 workload.
+
+    Attributes:
+        name: Workload name, e.g. ``"GPT2"`` — keys interference lookups.
+        description: Human-readable application description.
+        gpus: GPUs per task.
+        cpus_p3: CPU cores per task on P3 instances.
+        cpus_other: CPU cores per task on C7i/R7i (Table 7 parenthesised
+            value; equals ``cpus_p3`` when no parenthesis is given).
+        ram_gb: RAM per task in GB.
+        checkpoint_s: Task checkpoint delay, seconds.
+        launch_s: Task launch delay, seconds.
+        tasks_per_job: Number of (identical, interdependent) tasks per job.
+    """
+
+    name: str
+    description: str
+    gpus: float
+    cpus_p3: float
+    cpus_other: float
+    ram_gb: float
+    checkpoint_s: float
+    launch_s: float
+    tasks_per_job: int = 1
+
+    def demands(self) -> Mapping[str, ResourceVector]:
+        """Per-family demand vectors (P3 vs compute/memory families)."""
+        other = ResourceVector(self.gpus, self.cpus_other, self.ram_gb)
+        return {
+            "p3": ResourceVector(self.gpus, self.cpus_p3, self.ram_gb),
+            "c7i": other,
+            "r7i": other,
+            DEFAULT_FAMILY: ResourceVector(self.gpus, self.cpus_p3, self.ram_gb),
+        }
+
+    def migration(self) -> MigrationDelays:
+        return MigrationDelays(checkpoint_s=self.checkpoint_s, launch_s=self.launch_s)
+
+    @property
+    def is_gpu_workload(self) -> bool:
+        return self.gpus > 0
+
+    def make_job(
+        self,
+        duration_hours: float,
+        arrival_time_s: float = 0.0,
+        num_tasks: int | None = None,
+        job_id: str | None = None,
+    ) -> Job:
+        """Instantiate a job of this workload."""
+        return make_job(
+            workload=self.name,
+            demands=self.demands(),
+            duration_hours=duration_hours,
+            arrival_time_s=arrival_time_s,
+            num_tasks=num_tasks if num_tasks is not None else self.tasks_per_job,
+            migration=self.migration(),
+            job_id=job_id,
+        )
+
+
+#: Table 7, transcribed.  (name, description, gpus, cpus_p3, cpus_other,
+#: ram_gb, checkpoint_s, launch_s, tasks_per_job)
+TABLE7_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("ResNet18-2", "ML - Image Classification (2 tasks)", 1, 4, 4, 24, 2, 80, 2),
+    WorkloadSpec("ResNet18-4", "ML - Image Classification (4 tasks)", 1, 4, 4, 24, 2, 80, 4),
+    WorkloadSpec("ViT", "ML - Image Classification", 2, 8, 8, 60, 3, 143, 1),
+    WorkloadSpec("CycleGAN", "ML - I2I Translation", 1, 4, 4, 10, 7, 2, 1),
+    WorkloadSpec("GPT2", "ML - Language Modeling", 4, 4, 4, 10, 30, 15, 1),
+    WorkloadSpec("GraphSAGE", "ML - Graph Embedding", 1, 8, 8, 50, 2, 160, 1),
+    WorkloadSpec("GCN", "ML - Graph Embedding", 0, 12, 6, 40, 2, 28, 1),
+    WorkloadSpec("A3C", "ML - RL", 0, 10, 4, 8, 2, 10, 1),
+    WorkloadSpec("Diamond", "BioInfo - Sequence Alignment", 0, 14, 8, 16, 8, 12, 1),
+    WorkloadSpec("OpenFOAM", "Physics - CFD", 0, 8, 6, 8, 21, 1, 1),
+)
+
+_BY_NAME = {w.name: w for w in TABLE7_WORKLOADS}
+
+#: GPU workloads grouped by per-task GPU count, used when labelling
+#: trace-derived jobs with a Table-7 workload (§6.1: "We assign each job a
+#: workload from Table 7 to simulate the job's migration overhead and
+#: co-location throughput").
+GPU_WORKLOADS_BY_COUNT: Mapping[int, tuple[str, ...]] = {
+    1: ("ResNet18-2", "CycleGAN", "GraphSAGE"),
+    2: ("ViT",),
+    4: ("GPT2",),
+    8: ("GPT2",),  # no 8-GPU workload in Table 7; GPT2 is the largest GPU profile
+}
+
+CPU_WORKLOADS: tuple[str, ...] = ("GCN", "A3C", "Diamond", "OpenFOAM")
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a Table-7 workload by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    return [w.name for w in TABLE7_WORKLOADS]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cloud.catalog import ec2_catalog, paper_example_catalog
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import make_job
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The 21-type EC2 catalog (§6.1)."""
+    return ec2_catalog()
+
+
+@pytest.fixture(scope="session")
+def example_catalog():
+    """The 4-type worked-example catalog (Table 3a)."""
+    return paper_example_catalog()
+
+
+@pytest.fixture()
+def example_tasks():
+    """The 4 tasks of the paper's worked example (Table 3b)."""
+    demands = [
+        (2, 8, 24),
+        (1, 4, 10),
+        (0, 6, 20),
+        (0, 4, 12),
+    ]
+    tasks = []
+    for i, (g, c, m) in enumerate(demands, 1):
+        job = make_job(
+            f"w{i}",
+            {"*": ResourceVector(g, c, m)},
+            duration_hours=1.0,
+            job_id=f"tau{i}",
+        )
+        tasks.append(job.tasks[0])
+    return tasks

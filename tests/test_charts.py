@@ -1,0 +1,72 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import line_chart, sweep_chart
+
+
+class TestLineChart:
+    def test_renders_title_and_legend(self):
+        text = line_chart(
+            "demo", [1, 2, 3], {"Eva": [0.9, 0.8, 0.7], "Stratus": [1.0, 0.9, 0.85]}
+        )
+        assert text.splitlines()[0] == "demo"
+        assert "* Eva" in text
+        assert "o Stratus" in text
+
+    def test_extremes_on_axis_labels(self):
+        text = line_chart("t", [0, 10], {"s": [2.0, 4.0]})
+        assert "4.000" in text
+        assert "2.000" in text
+
+    def test_flat_series_renders(self):
+        text = line_chart("flat", [1, 2], {"s": [1.0, 1.0]})
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("t", [1, 2], {"s": [1.0]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("t", [], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart("t", [1], {})
+
+    def test_y_label_included(self):
+        text = line_chart("t", [1, 2], {"s": [1, 2]}, y_label="cost")
+        assert "y: cost" in text
+
+
+class TestSweepChart:
+    def test_from_norm_cost_mapping(self):
+        norm_cost = {
+            ("Eva", 0.5): 0.9,
+            ("Eva", 1.0): 0.8,
+            ("No-Packing", 0.5): 1.0,
+            ("No-Packing", 1.0): 1.0,
+        }
+        text = sweep_chart("Figure 8", norm_cost)
+        assert "Eva" in text and "No-Packing" in text
+
+    def test_incomplete_series_dropped(self):
+        norm_cost = {
+            ("Eva", 0.5): 0.9,
+            ("Eva", 1.0): 0.8,
+            ("Partial", 0.5): 0.95,  # missing x=1.0 -> dropped
+        }
+        text = sweep_chart("t", norm_cost)
+        assert "Eva" in text
+        assert "Partial" not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_chart("t", {})
+
+    def test_integrates_with_experiment_result_shape(self):
+        """The sweep drivers' norm_cost dicts plot directly."""
+        from repro.experiments import fig08_arrival_rate
+
+        result = fig08_arrival_rate.run(num_jobs=30)
+        text = sweep_chart("Figure 8 (tiny)", result.norm_cost)
+        assert "Eva" in text

@@ -1,0 +1,163 @@
+"""Unit and property tests for RP/TNRP evaluators and pack states."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import make_job
+from repro.core.evaluation import RPEvaluator, TNRPEvaluator
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.core.throughput_table import (
+    CoLocationThroughputTable,
+    TaskPlacementObservation,
+)
+
+
+@pytest.fixture()
+def calc(example_catalog):
+    return ReservationPriceCalculator(example_catalog)
+
+
+def _job(workload, demand, num_tasks=1, job_id=None):
+    return make_job(
+        workload, {"*": ResourceVector(*demand)}, 1.0,
+        num_tasks=num_tasks, job_id=job_id,
+    )
+
+
+class TestRPEvaluator:
+    def test_set_value_additive(self, calc, example_tasks):
+        ev = RPEvaluator(calc)
+        assert ev.set_value(example_tasks) == pytest.approx(16.2)
+
+    def test_pack_state_incremental(self, calc, example_tasks):
+        ev = RPEvaluator(calc)
+        state = ev.make_state()
+        total = 0.0
+        for task in example_tasks:
+            assert state.value_with(task) == pytest.approx(total + calc.rp(task))
+            state.add(task)
+            total += calc.rp(task)
+        assert state.value == pytest.approx(16.2)
+
+    def test_cost_efficiency_check(self, calc, example_tasks, example_catalog):
+        ev = RPEvaluator(calc)
+        it1 = example_catalog[0]
+        assert ev.is_cost_efficient(
+            [example_tasks[0], example_tasks[1]], it1.hourly_cost
+        )
+        assert not ev.is_cost_efficient([example_tasks[1]], it1.hourly_cost)
+
+
+class TestTNRPSingleTask:
+    def test_paper_example_section_4_3(self, calc, example_tasks):
+        """§4.3: co-locating tau1 (0.8) and tau2 (0.9) on it1: 12.3 > 12."""
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(
+            TaskPlacementObservation("w1", ("w2",)), 0.8
+        )
+        table.observe_single_task_job(
+            TaskPlacementObservation("w2", ("w1",)), 0.9
+        )
+        ev = TNRPEvaluator(calc, table, jobs={}, multi_task_aware=False)
+        value = ev.set_value([example_tasks[0], example_tasks[1]])
+        assert value == pytest.approx(12.0 * 0.8 + 3.0 * 0.9)
+
+    def test_paper_example_severe_interference(self, calc, example_tasks):
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(
+            TaskPlacementObservation("w1", ("w2",)), 0.7
+        )
+        table.observe_single_task_job(
+            TaskPlacementObservation("w2", ("w1",)), 0.8
+        )
+        ev = TNRPEvaluator(calc, table, jobs={}, multi_task_aware=False)
+        value = ev.set_value([example_tasks[0], example_tasks[1]])
+        assert value == pytest.approx(10.8)
+        assert not ev.is_cost_efficient(
+            [example_tasks[0], example_tasks[1]], 12.0
+        )
+
+    def test_singleton_equals_rp(self, calc, example_tasks):
+        ev = TNRPEvaluator(calc, CoLocationThroughputTable(), jobs={})
+        assert ev.set_value([example_tasks[0]]) == pytest.approx(12.0)
+
+
+class TestTNRPMultiTask:
+    def test_multi_task_penalty_formula(self, calc):
+        """§4.4: TNRP(tau, T) = RP(tau) - sum_j (1 - tput) RP(tau')."""
+        job = _job("w1", (2, 8, 24), num_tasks=2, job_id="mt")
+        jobs = {"mt": job}
+        table = CoLocationThroughputTable(default_tput=0.9)
+        ev = TNRPEvaluator(calc, table, jobs=jobs, multi_task_aware=True)
+        task = job.tasks[0]
+        rp = calc.rp(task)
+        job_rp = 2 * rp
+        # One neighbour at default 0.9.
+        expected = rp - (1 - 0.9) * job_rp
+        assert ev.task_tnrp(task, ["other"]) == pytest.approx(expected)
+
+    def test_single_task_job_reduces_to_tput_times_rp(self, calc):
+        job = _job("w1", (2, 8, 24), job_id="st")
+        table = CoLocationThroughputTable(default_tput=0.9)
+        ev = TNRPEvaluator(calc, table, jobs={"st": job}, multi_task_aware=True)
+        task = job.tasks[0]
+        assert ev.task_tnrp(task, ["x"]) == pytest.approx(0.9 * calc.rp(task))
+
+    def test_multi_aware_toggle(self, calc):
+        job = _job("w1", (2, 8, 24), num_tasks=4, job_id="mt4")
+        table = CoLocationThroughputTable(default_tput=0.8)
+        aware = TNRPEvaluator(calc, table, jobs={"mt4": job}, multi_task_aware=True)
+        blind = TNRPEvaluator(calc, table, jobs={"mt4": job}, multi_task_aware=False)
+        task = job.tasks[0]
+        assert aware.task_tnrp(task, ["x"]) < blind.task_tnrp(task, ["x"])
+
+    def test_group_key_includes_arity(self, calc):
+        job2 = _job("w1", (2, 8, 24), num_tasks=2, job_id="a")
+        job4 = _job("w1", (2, 8, 24), num_tasks=4, job_id="b")
+        ev = TNRPEvaluator(
+            calc,
+            CoLocationThroughputTable(),
+            jobs={"a": job2, "b": job4},
+            multi_task_aware=True,
+        )
+        assert ev.group_key(job2.tasks[0]) != ev.group_key(job4.tasks[0])
+
+
+class TestPackStateConsistency:
+    workloads = ("ResNet18", "GraphSAGE", "CycleGAN", "GPT2", "GCN")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.sampled_from(workloads), min_size=1, max_size=7),
+        st.booleans(),
+    )
+    def test_incremental_matches_batch(self, names, with_exact, ):
+        """PackState increments must agree with set_value recomputation."""
+        from repro.cloud.catalog import ec2_catalog
+
+        calc = ReservationPriceCalculator(ec2_catalog())
+        table = CoLocationThroughputTable(default_tput=0.95)
+        table.observe_single_task_job(
+            TaskPlacementObservation("ResNet18", ("GCN",)), 0.83
+        )
+        if with_exact:
+            table.observe_single_task_job(
+                TaskPlacementObservation("ResNet18", ("GCN", "GPT2")), 0.6
+            )
+        jobs = {}
+        tasks = []
+        for i, name in enumerate(names):
+            job = _job(name, (1, 4, 8), job_id=f"j{i}")
+            jobs[job.job_id] = job
+            tasks.append(job.tasks[0])
+        ev = TNRPEvaluator(calc, table, jobs=jobs, multi_task_aware=True)
+        state = ev.make_state()
+        added = []
+        for task in tasks:
+            expected = ev.set_value(added + [task])
+            assert state.value_with(task) == pytest.approx(expected, rel=1e-9)
+            state.add(task)
+            added.append(task)
+            assert state.value == pytest.approx(ev.set_value(added), rel=1e-9)

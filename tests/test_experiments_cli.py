@@ -1,0 +1,37 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import _RUNNERS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["prog", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table13", "fig04", "table04"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["prog", "tableXX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["prog"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["prog", "table08"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU Demand" in out
+        assert "finished in" in out
+
+    def test_every_runner_registered(self):
+        # One runner per paper table/figure (plus data tables 7-9).
+        expected = {
+            "fig01", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "table01", "table04", "table05", "table06", "table07",
+            "table08", "table09", "table10", "table11", "table12",
+            "table13", "table14",
+        }
+        assert set(_RUNNERS) == expected

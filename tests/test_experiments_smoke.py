@@ -1,0 +1,128 @@
+"""Smoke tests: every experiment driver runs at miniature scale and
+produces the paper's row structure.  Full-scale numbers come from the
+benchmark harness."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_interference,
+    fig04_interference_sweep,
+    fig05_migration_sweep,
+    fig06_workload_mix,
+    fig07_multitask_sweep,
+    fig08_arrival_rate,
+    table01_delays,
+    table04_microbench,
+    table05_runtime,
+    table06_multitask,
+    table07_workloads,
+    table10_e2e_large,
+    table11_e2e_small,
+    table12_fidelity,
+    table13_alibaba,
+    table14_gavel,
+)
+
+
+class TestDataTables:
+    def test_fig01_matches_published(self):
+        table = fig01_interference.run()
+        assert "0.0000" in table.notes[0]
+
+    def test_table01(self):
+        table = table01_delays.run(samples=100)
+        assert len(table.rows) == 4
+
+    def test_table07(self):
+        assert len(table07_workloads.run_table7().rows) == 10
+
+    def test_table08(self):
+        table = table07_workloads.run_table8(num_jobs=1500)
+        assert len(table.rows) == 5
+
+    def test_table09(self):
+        table = table07_workloads.run_table9(num_jobs=1500)
+        assert len(table.rows) == 2
+
+
+class TestMicrobenches:
+    def test_table04_tiny(self):
+        result = table04_microbench.run(
+            trials=2, num_tasks=12, ilp_time_limit_s=10
+        )
+        assert result.full_reconfig_norm[0] <= result.no_packing_norm[0] + 1e-9
+
+    def test_table05_single_size(self):
+        runtime = table05_runtime.time_full_reconfig(200, group_identical=True)
+        assert runtime < 5.0
+
+    def test_table06_tiny(self):
+        result = table06_multitask.run(trials=2, jobs_per_trial=8)
+        assert set(result.norm_costs) == {"No-Packing", "Eva-Single", "Eva-Multi"}
+
+
+class TestEndToEnd:
+    def test_table10_tiny(self):
+        result = table10_e2e_large.run(num_jobs=40)
+        assert len(result.table.rows) == 3
+        assert "p100" in result.uptime_cdf_text or "series" in result.uptime_cdf_text
+
+    def test_table11(self):
+        result = table11_e2e_small.run()
+        assert len(result.table.rows) == 5
+
+    def test_table12(self):
+        result = table12_fidelity.run()
+        assert result.max_abs_difference < 0.25
+
+    def test_table13_tiny(self):
+        result = table13_alibaba.run(num_jobs=120)
+        norm = {
+            name: result.comparison.normalized_cost(name)
+            for name in result.comparison.results
+        }
+        assert norm["Eva"] < 1.0
+
+    def test_table14_tiny(self):
+        result = table14_gavel.run(num_jobs=80)
+        assert len(result.table.rows) == 5
+
+
+class TestSweeps:
+    def test_fig04_tiny(self):
+        result = fig04_interference_sweep.run(num_jobs=60)
+        assert result.norm_cost[("Eva-RP", 0.8)] >= result.norm_cost[
+            ("Eva-RP", 1.0)
+        ] - 0.1
+
+    def test_fig05_tiny(self):
+        result = fig05_migration_sweep.run(num_jobs=60)
+        assert set(result.full_adoption) == {1.0, 2.0, 4.0, 8.0}
+
+    def test_fig06_tiny(self):
+        result = fig06_workload_mix.run(num_jobs=60)
+        assert ("Eva", 0.6) in result.norm_cost
+
+    def test_fig07_tiny(self):
+        result = fig07_multitask_sweep.run(num_jobs=60)
+        assert ("Eva-Single", 0.4) in result.norm_cost
+
+    def test_fig08_tiny(self):
+        result = fig08_arrival_rate.run(num_jobs=50)
+        assert ("Eva", 0.5) in result.norm_cost
+
+
+class TestScaleConfig:
+    def test_bench_scale_env(self, monkeypatch):
+        from repro.experiments.common import bench_scale, scaled
+
+        monkeypatch.setenv("EVA_BENCH_SCALE", "2.0")
+        assert bench_scale() == 2.0
+        assert scaled(100) == 200
+        assert scaled(100, maximum=150) == 150
+        monkeypatch.setenv("EVA_BENCH_SCALE", "oops")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("EVA_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()

@@ -1,0 +1,226 @@
+"""Unit and property tests for Full Reconfiguration (Algorithm 1, §4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import tasks_fit_on_type
+from repro.cluster.task import make_job
+from repro.core.evaluation import RPEvaluator, TNRPEvaluator
+from repro.core.full_reconfig import (
+    configuration_cost,
+    full_reconfiguration,
+    match_existing_instances,
+    packing_summary,
+)
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.core.throughput_table import (
+    CoLocationThroughputTable,
+    TaskPlacementObservation,
+)
+from repro.workloads.synthetic import microbench_task_pool
+
+
+class TestPaperWalkthrough:
+    """The §4.2 worked example, step by step."""
+
+    def test_exact_configuration(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        packed = full_reconfiguration(
+            example_tasks, example_catalog, RPEvaluator(calc)
+        )
+        by_type = {}
+        for p in packed:
+            by_type.setdefault(p.instance_type.name, []).append(
+                sorted(t.job_id for t in p.tasks)
+            )
+        # tau1, tau2, tau4 share an it1 instance; tau3 lands alone on it3.
+        assert by_type == {"it1": [["tau1", "tau2", "tau4"]], "it3": [["tau3"]]}
+        assert configuration_cost(packed) == pytest.approx(12.8)
+
+    def test_cheaper_than_no_packing(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        packed = full_reconfiguration(
+            example_tasks, example_catalog, RPEvaluator(calc)
+        )
+        assert configuration_cost(packed) < calc.rp_of_set(example_tasks)
+
+    def test_interference_changes_decision(self, example_catalog, example_tasks):
+        """§4.3: tau1/tau2 at 0.7/0.8 make the shared it1 inefficient."""
+        calc = ReservationPriceCalculator(example_catalog)
+        table = CoLocationThroughputTable(default_tput=1.0)
+        table.observe_single_task_job(
+            TaskPlacementObservation("w1", ("w2",)), 0.7
+        )
+        table.observe_single_task_job(
+            TaskPlacementObservation("w2", ("w1",)), 0.8
+        )
+        ev = TNRPEvaluator(calc, table, jobs={}, multi_task_aware=False)
+        packed = full_reconfiguration(
+            example_tasks[:2], example_catalog, ev
+        )
+        placements = {
+            frozenset(t.job_id for t in p.tasks) for p in packed
+        }
+        # tau1 and tau2 must not share an instance.
+        assert frozenset({"tau1", "tau2"}) not in placements
+
+
+def _invariants(tasks, catalog, packed, evaluator):
+    # Every task assigned exactly once.
+    assigned = [t.task_id for p in packed for t in p.tasks]
+    assert sorted(assigned) == sorted(t.task_id for t in tasks)
+    for p in packed:
+        # Resource-feasible.
+        assert tasks_fit_on_type(p.tasks, p.instance_type)
+        # Cost-efficient (the line 14 criterion).
+        assert evaluator.set_value(list(p.tasks)) >= p.hourly_cost - 1e-6
+
+
+class TestInvariants:
+    def test_random_pool_rp(self):
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        ev = RPEvaluator(calc)
+        tasks = microbench_task_pool(120, seed=3)
+        packed = full_reconfiguration(tasks, catalog, ev)
+        _invariants(tasks, catalog, packed, ev)
+        assert configuration_cost(packed) <= calc.rp_of_set(tasks) + 1e-9
+
+    def test_random_pool_tnrp(self):
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        table = CoLocationThroughputTable(default_tput=0.95)
+        ev = TNRPEvaluator(calc, table, jobs={}, multi_task_aware=False)
+        tasks = microbench_task_pool(120, seed=4)
+        packed = full_reconfiguration(tasks, catalog, ev)
+        _invariants(tasks, catalog, packed, ev)
+
+    def test_tnrp_with_no_interference_matches_rp(self):
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        tasks = microbench_task_pool(80, seed=5)
+        rp_packed = full_reconfiguration(tasks, catalog, RPEvaluator(calc))
+        tnrp_packed = full_reconfiguration(
+            tasks,
+            catalog,
+            TNRPEvaluator(
+                calc, CoLocationThroughputTable(default_tput=1.0), jobs={}
+            ),
+        )
+        assert configuration_cost(rp_packed) == pytest.approx(
+            configuration_cost(tnrp_packed)
+        )
+
+    def test_faithful_scan_invariants(self):
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        ev = RPEvaluator(calc)
+        tasks = microbench_task_pool(60, seed=6)
+        packed = full_reconfiguration(
+            tasks, catalog, ev, group_identical=False
+        )
+        _invariants(tasks, catalog, packed, ev)
+
+    def test_empty_task_set(self):
+        catalog = ec2_catalog()
+        ev = RPEvaluator(ReservationPriceCalculator(catalog))
+        assert full_reconfiguration([], catalog, ev) == []
+
+    def test_deterministic(self):
+        catalog = ec2_catalog()
+        ev = RPEvaluator(ReservationPriceCalculator(catalog))
+        tasks = microbench_task_pool(60, seed=7)
+        a = full_reconfiguration(tasks, catalog, ev)
+        b = full_reconfiguration(tasks, catalog, ev)
+        assert [
+            (p.instance_type.name, sorted(t.task_id for t in p.tasks)) for p in a
+        ] == [
+            (p.instance_type.name, sorted(t.task_id for t in p.tasks)) for p in b
+        ]
+
+    def test_severe_interference_reduces_to_no_packing(self):
+        """§6.4: when packing anything is sub-optimal, Eva stops packing."""
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        table = CoLocationThroughputTable(default_tput=0.01)
+        ev = TNRPEvaluator(calc, table, jobs={})
+        tasks = microbench_task_pool(30, seed=8)
+        packed = full_reconfiguration(tasks, catalog, ev)
+        assert all(len(p.tasks) == 1 for p in packed)
+        assert configuration_cost(packed) == pytest.approx(calc.rp_of_set(tasks))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=10_000))
+    def test_property_invariants(self, n, seed):
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        ev = RPEvaluator(calc)
+        tasks = microbench_task_pool(n, seed=seed)
+        packed = full_reconfiguration(tasks, catalog, ev)
+        _invariants(tasks, catalog, packed, ev)
+        assert configuration_cost(packed) <= calc.rp_of_set(tasks) + 1e-9
+
+
+class TestGuard:
+    def test_line_9_11_guard_stops_value_decrease(self, example_catalog):
+        """Adding a task that lowers TNRP must stop the inner loop."""
+        calc = ReservationPriceCalculator(example_catalog)
+        table = CoLocationThroughputTable(default_tput=0.4)
+        ev = TNRPEvaluator(calc, table, jobs={})
+        jobs = [
+            make_job("a", {"*": ResourceVector(0, 2, 4)}, 1.0, job_id=f"g{i}")
+            for i in range(6)
+        ]
+        tasks = [j.tasks[0] for j in jobs]
+        packed = full_reconfiguration(tasks, example_catalog, ev)
+        for p in packed:
+            # With t=0.4 a second co-located task would reduce the value:
+            # 2 * 0.4 * rp < 1 * rp.
+            assert len(p.tasks) == 1
+
+
+class TestMatchExisting:
+    def test_reuses_matching_type_with_best_overlap(self, example_catalog):
+        calc = ReservationPriceCalculator(example_catalog)
+        ev = RPEvaluator(calc)
+        jobs = [
+            make_job("w", {"*": ResourceVector(2, 8, 24)}, 1.0, job_id=f"m{i}")
+            for i in range(2)
+        ]
+        tasks = [j.tasks[0] for j in jobs]
+        packed = full_reconfiguration(tasks, example_catalog, ev)
+        from repro.cluster.instance import fresh_instance
+
+        live = fresh_instance(packed[0].instance_type)
+        relabelled = match_existing_instances(
+            packed, [(live, frozenset({tasks[0].task_id}))]
+        )
+        reused = [p for p in relabelled if p.instance.instance_id == live.instance_id]
+        assert len(reused) == 1
+        assert tasks[0].task_id in reused[0].task_ids()
+
+    def test_no_reuse_across_types(self, example_catalog):
+        calc = ReservationPriceCalculator(example_catalog)
+        ev = RPEvaluator(calc)
+        job = make_job("w", {"*": ResourceVector(0, 4, 12)}, 1.0, job_id="x")
+        packed = full_reconfiguration(list(job.tasks), example_catalog, ev)
+        from repro.cluster.instance import fresh_instance
+
+        gpu_live = fresh_instance(example_catalog[0])  # it1, different type
+        relabelled = match_existing_instances(packed, [(gpu_live, frozenset())])
+        assert all(
+            p.instance.instance_id != gpu_live.instance_id for p in relabelled
+        )
+
+    def test_summary(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        packed = full_reconfiguration(
+            example_tasks, example_catalog, RPEvaluator(calc)
+        )
+        summary = packing_summary(packed)
+        assert summary["instances"] == 2
+        assert summary["tasks"] == 4
+        assert summary["hourly_cost"] == pytest.approx(12.8)

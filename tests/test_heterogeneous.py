@@ -1,0 +1,149 @@
+"""Tests for the §4.2 heterogeneous-resources RP extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import tasks_fit_on_type
+from repro.cluster.task import make_job
+from repro.core.heterogeneous import (
+    FamilySpeedProfile,
+    HeterogeneousEvaluator,
+    HeterogeneousRPCalculator,
+    heterogeneous_full_reconfiguration,
+    reduces_to_homogeneous,
+)
+from repro.core.reservation_price import (
+    InfeasibleTaskError,
+    ReservationPriceCalculator,
+)
+from repro.core.throughput_table import CoLocationThroughputTable
+from repro.workloads.synthetic import microbench_task_pool
+
+
+def _cpu_task(cpus=4, ram=8, job_id="het"):
+    return make_job(
+        "W", {"*": ResourceVector(0, cpus, ram)}, 1.0, job_id=job_id
+    ).tasks[0]
+
+
+class TestSpeedProfile:
+    def test_default_speed(self):
+        profile = FamilySpeedProfile()
+        assert profile.speed("anything", "p3") == 1.0
+
+    def test_explicit_speed(self):
+        profile = FamilySpeedProfile(speeds={"W": {"c7i": 2.0}})
+        assert profile.speed("W", "c7i") == 2.0
+        assert profile.speed("W", "r7i") == 1.0
+        assert profile.speed("other", "c7i") == 1.0
+
+
+class TestHeterogeneousRP:
+    def test_unit_speeds_reduce_to_homogeneous(self, catalog):
+        het = HeterogeneousRPCalculator(catalog)
+        hom = ReservationPriceCalculator(catalog)
+        for task in microbench_task_pool(40, seed=1):
+            assert reduces_to_homogeneous(het, hom, task)
+
+    def test_faster_family_lowers_rp(self, catalog):
+        """A 2x-faster family halves the dollars-per-iteration price."""
+        task = _cpu_task()
+        slow = HeterogeneousRPCalculator(catalog).rp(task)
+        fast = HeterogeneousRPCalculator(
+            catalog, FamilySpeedProfile(speeds={"W": {"c7i": 2.0}})
+        )
+        assert fast.rp(task) == pytest.approx(slow / 2.0)
+        assert fast.rp_type(task).family == "c7i"
+
+    def test_speed_changes_efficiency_type(self, catalog):
+        """If R7i runs W 4x faster, W's efficiency type moves to R7i even
+        though C7i is nominally cheaper."""
+        calc = HeterogeneousRPCalculator(
+            catalog, FamilySpeedProfile(speeds={"W": {"r7i": 4.0}})
+        )
+        assert calc.rp_type(_cpu_task()).family == "r7i"
+
+    def test_zero_speed_family_excluded(self, catalog):
+        calc = HeterogeneousRPCalculator(
+            catalog,
+            FamilySpeedProfile(
+                speeds={"W": {"c7i": 0.0, "r7i": 0.0, "p3": 0.0}},
+                default_speed=0.0,
+            ),
+        )
+        with pytest.raises(InfeasibleTaskError):
+            calc.rp(_cpu_task())
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousRPCalculator([])
+
+
+class TestHeterogeneousPacking:
+    def _evaluator(self, catalog, profile=None):
+        calc = HeterogeneousRPCalculator(catalog, profile or FamilySpeedProfile())
+        return HeterogeneousEvaluator(
+            calculator=calc,
+            table=CoLocationThroughputTable(default_tput=1.0),
+            jobs={},
+        )
+
+    def test_packing_invariants(self, catalog):
+        tasks = microbench_task_pool(50, seed=2)
+        ev = self._evaluator(catalog)
+        packed = heterogeneous_full_reconfiguration(tasks, catalog, ev)
+        assigned = sorted(t.task_id for p in packed for t in p.tasks)
+        assert assigned == sorted(t.task_id for t in tasks)
+        for p in packed:
+            assert tasks_fit_on_type(p.tasks, p.instance_type)
+            bound = ev.for_family(p.instance_type.family)
+            assert bound.set_value(list(p.tasks)) >= p.hourly_cost - 1e-6
+
+    def test_unit_speeds_match_homogeneous_cost(self, catalog):
+        from repro.core.evaluation import TNRPEvaluator
+        from repro.core.full_reconfig import (
+            configuration_cost,
+            full_reconfiguration,
+        )
+
+        tasks = microbench_task_pool(40, seed=3)
+        het_packed = heterogeneous_full_reconfiguration(
+            tasks, catalog, self._evaluator(catalog)
+        )
+        hom_ev = TNRPEvaluator(
+            ReservationPriceCalculator(catalog),
+            CoLocationThroughputTable(default_tput=1.0),
+            jobs={},
+        )
+        hom_packed = full_reconfiguration(tasks, catalog, hom_ev)
+        assert configuration_cost(het_packed) == pytest.approx(
+            configuration_cost(hom_packed)
+        )
+
+    def test_speedy_family_attracts_tasks(self, catalog):
+        """Tasks that run 3x faster on R7i should land on R7i."""
+        profile = FamilySpeedProfile(speeds={"W": {"r7i": 3.0}})
+        tasks = [
+            make_job(
+                "W", {"*": ResourceVector(0, 4, 8)}, 1.0, job_id=f"s{i}"
+            ).tasks[0]
+            for i in range(4)
+        ]
+        packed = heterogeneous_full_reconfiguration(
+            tasks, catalog, self._evaluator(catalog, profile)
+        )
+        for p in packed:
+            assert p.instance_type.family == "r7i"
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=1000))
+    def test_property_all_assigned(self, n, seed):
+        catalog = ec2_catalog()
+        tasks = microbench_task_pool(n, seed=seed)
+        packed = heterogeneous_full_reconfiguration(
+            tasks, catalog, self._evaluator(catalog)
+        )
+        assert sum(len(p.tasks) for p in packed) == n

@@ -1,0 +1,131 @@
+"""Unit tests for the ILP scheduler (§4.1)."""
+
+import itertools
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import tasks_fit_on_type
+from repro.cluster.task import make_job
+from repro.core.ilp import ilp_schedule
+from repro.workloads.synthetic import microbench_task_pool
+
+
+def _tasks(*demands):
+    tasks = []
+    for i, d in enumerate(demands):
+        job = make_job(
+            f"w{i}", {"*": ResourceVector(*d)}, 1.0, job_id=f"ilp{i}"
+        )
+        tasks.append(job.tasks[0])
+    return tasks
+
+
+def brute_force_cost(tasks, catalog):
+    """Exhaustive optimum over all set partitions and type choices."""
+
+    def partitions(items):
+        if not items:
+            yield []
+            return
+        first, rest = items[0], items[1:]
+        for part in partitions(rest):
+            for i in range(len(part)):
+                yield part[:i] + [[first] + part[i]] + part[i + 1 :]
+            yield part + [[first]]
+
+    best = float("inf")
+    for part in partitions(tasks):
+        cost = 0.0
+        for block in part:
+            feasible = [
+                it.hourly_cost
+                for it in catalog
+                if tasks_fit_on_type(block, it)
+            ]
+            if not feasible:
+                cost = float("inf")
+                break
+            cost += min(feasible)
+        best = min(best, cost)
+    return best
+
+
+class TestSmallExact:
+    def test_paper_example_optimal(self, example_catalog, example_tasks):
+        result = ilp_schedule(example_tasks, example_catalog, time_limit_s=30)
+        assert result.proven_optimal
+        assert result.hourly_cost == pytest.approx(12.8)
+
+    def test_matches_brute_force(self, example_catalog):
+        tasks = _tasks((1, 4, 10), (1, 4, 10), (0, 4, 12), (0, 6, 20))
+        result = ilp_schedule(tasks, example_catalog, time_limit_s=30)
+        expected = brute_force_cost(tasks, example_catalog)
+        assert result.proven_optimal
+        assert result.hourly_cost == pytest.approx(expected)
+
+    def test_empty(self, example_catalog):
+        result = ilp_schedule([], example_catalog)
+        assert result.hourly_cost == 0.0
+        assert result.packed == []
+
+
+class TestSolutionStructure:
+    def test_assignment_complete_and_feasible(self, example_catalog):
+        tasks = _tasks((2, 8, 24), (1, 4, 10), (0, 6, 20), (0, 4, 12))
+        result = ilp_schedule(tasks, example_catalog, time_limit_s=30)
+        assert result.packed is not None
+        assigned = sorted(
+            t.task_id for p in result.packed for t in p.tasks
+        )
+        assert assigned == sorted(t.task_id for t in tasks)
+        for p in result.packed:
+            assert tasks_fit_on_type(p.tasks, p.instance_type)
+
+    def test_cost_matches_instances(self, example_catalog, example_tasks):
+        result = ilp_schedule(example_tasks, example_catalog, time_limit_s=30)
+        total = sum(p.hourly_cost for p in result.packed)
+        assert total == pytest.approx(result.hourly_cost)
+
+    def test_never_worse_than_full_reconfig(self):
+        from repro.cloud.catalog import ec2_catalog
+        from repro.core.evaluation import RPEvaluator
+        from repro.core.full_reconfig import (
+            configuration_cost,
+            full_reconfiguration,
+        )
+        from repro.core.reservation_price import ReservationPriceCalculator
+
+        catalog = ec2_catalog()
+        tasks = microbench_task_pool(15, seed=1)
+        greedy = configuration_cost(
+            full_reconfiguration(
+                tasks, catalog, RPEvaluator(ReservationPriceCalculator(catalog))
+            )
+        )
+        result = ilp_schedule(tasks, catalog, time_limit_s=60)
+        if result.proven_optimal:
+            assert result.hourly_cost <= greedy + 1e-6
+
+
+class TestFamilyAwareness:
+    def test_family_specific_demands_respected(self, catalog):
+        """A GCN-like task needs 12 CPUs on P3 but 6 on C7i/R7i."""
+        from repro.cluster.task import Task
+
+        task = Task(
+            task_id="fam/t0",
+            job_id="fam",
+            workload="GCN",
+            demands={
+                "p3": ResourceVector(0, 12, 4),
+                "c7i": ResourceVector(0, 6, 4),
+                "r7i": ResourceVector(0, 6, 4),
+            },
+        )
+        result = ilp_schedule([task], catalog, time_limit_s=30)
+        assert result.proven_optimal
+        placement = result.packed[0]
+        # Optimal: c7i.2xlarge (8 CPUs suffice for the 6-CPU demand).
+        assert placement.instance_type.family in ("c7i", "r7i")
+        assert placement.instance_type.capacity.cpus >= 6

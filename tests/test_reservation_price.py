@@ -1,0 +1,110 @@
+"""Unit and property tests for reservation price (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import make_job
+from repro.core.reservation_price import (
+    InfeasibleTaskError,
+    ReservationPriceCalculator,
+    no_packing_cost,
+)
+
+
+class TestPaperExample:
+    def test_table3_reservation_prices(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        prices = [calc.rp(t) for t in example_tasks]
+        assert prices == [12.0, 3.0, 0.8, 0.4]
+
+    def test_table3_rp_types(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        names = [calc.rp_type(t).name for t in example_tasks]
+        assert names == ["it1", "it2", "it3", "it4"]
+
+    def test_rp_of_set_additive(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        assert calc.rp_of_set(example_tasks) == pytest.approx(16.2)
+        assert no_packing_cost(example_tasks, calc) == pytest.approx(16.2)
+
+
+class TestMechanics:
+    def test_infeasible_raises(self, example_catalog):
+        job = make_job("huge", {"*": ResourceVector(100, 1, 1)}, 1.0)
+        calc = ReservationPriceCalculator(example_catalog)
+        with pytest.raises(InfeasibleTaskError):
+            calc.rp(job.tasks[0])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationPriceCalculator([])
+
+    def test_ghost_types_ignored(self, example_catalog):
+        from repro.cluster.instance import ghost_instance_type
+
+        calc = ReservationPriceCalculator(list(example_catalog) + [ghost_instance_type()])
+        job = make_job("w", {"*": ResourceVector(0, 1, 1)}, 1.0)
+        # The ghost's zero cost must never be the RP.
+        assert calc.rp(job.tasks[0]) == 0.4
+
+    def test_cache_shared_across_identical_tasks(self, example_catalog):
+        calc = ReservationPriceCalculator(example_catalog)
+        job = make_job("w", {"*": ResourceVector(0, 4, 8)}, 1.0, num_tasks=50)
+        for task in job.tasks:
+            calc.rp(task)
+        assert len(calc._cache) == 1
+
+    def test_family_specific_demand(self, catalog):
+        from repro.workloads.workloads import workload
+
+        calc = ReservationPriceCalculator(catalog)
+        gcn = workload("GCN").make_job(1.0).tasks[0]
+        # GCN needs 12 CPUs on P3 but only 6 on C7i/R7i; 40 GB RAM steers
+        # it to the memory family.
+        assert calc.rp_type(gcn).name == "r7i.2xlarge"
+
+    def test_is_cost_efficient(self, example_catalog, example_tasks):
+        calc = ReservationPriceCalculator(example_catalog)
+        it1 = example_catalog[0]
+        assert calc.is_cost_efficient([example_tasks[0]], it1)  # 12 >= 12
+        assert not calc.is_cost_efficient([example_tasks[1]], it1)  # 3 < 12
+
+
+class TestProperties:
+    demand = st.builds(
+        ResourceVector,
+        st.sampled_from([0.0, 1.0, 2.0, 4.0]),
+        st.floats(min_value=1, max_value=16),
+        st.floats(min_value=1, max_value=244),
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(demand)
+    def test_rp_is_cheapest_feasible(self, demand):
+        from repro.cloud.catalog import ec2_catalog
+
+        catalog = ec2_catalog()
+        calc = ReservationPriceCalculator(catalog)
+        job = make_job("w", {"*": demand}, 1.0)
+        task = job.tasks[0]
+        rp = calc.rp(task)
+        feasible = [
+            it.hourly_cost
+            for it in catalog
+            if task.demand_for(it.family).fits_within(it.capacity)
+        ]
+        assert rp == min(feasible)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1, max_value=8), st.floats(min_value=1, max_value=8))
+    def test_rp_monotone_in_demand(self, small_cpu, extra):
+        from repro.cloud.catalog import ec2_catalog
+
+        calc = ReservationPriceCalculator(ec2_catalog())
+        lo = make_job("w", {"*": ResourceVector(0, small_cpu, 4)}, 1.0).tasks[0]
+        hi = make_job(
+            "w", {"*": ResourceVector(0, small_cpu + extra, 4)}, 1.0
+        ).tasks[0]
+        assert calc.rp(hi) >= calc.rp(lo)

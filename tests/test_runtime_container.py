@@ -1,0 +1,102 @@
+"""Unit tests for container lifecycle and global storage."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.runtime.container import (
+    ContainerError,
+    ContainerSpec,
+    ContainerState,
+    GlobalStorage,
+    SimContainer,
+)
+
+
+def _container():
+    return SimContainer(
+        container_id="c",
+        spec=ContainerSpec(
+            image="img", command="cmd", demands={"*": ResourceVector(0, 1, 1)}
+        ),
+    )
+
+
+class TestLifecycle:
+    def test_normal_flow(self):
+        c = _container()
+        c.start()
+        c.progress(10.0)
+        assert c.iterations_done == 10.0
+        c.checkpoint()
+        assert c.state is ContainerState.CHECKPOINTED
+        c.start()  # restore
+        assert c.restore_count == 1
+        assert c.iterations_done == 10.0
+        c.stop()
+        assert c.state is ContainerState.STOPPED
+
+    def test_cannot_progress_unstarted(self):
+        with pytest.raises(ContainerError):
+            _container().progress(1.0)
+
+    def test_cannot_checkpoint_unstarted(self):
+        with pytest.raises(ContainerError):
+            _container().checkpoint()
+
+    def test_cannot_start_running(self):
+        c = _container()
+        c.start()
+        with pytest.raises(ContainerError):
+            c.start()
+
+    def test_cannot_stop_twice(self):
+        c = _container()
+        c.start()
+        c.stop()
+        with pytest.raises(ContainerError):
+            c.stop()
+
+    def test_negative_progress_rejected(self):
+        c = _container()
+        c.start()
+        with pytest.raises(ContainerError):
+            c.progress(-1.0)
+
+    def test_restore_discards_uncheckpointed_progress(self):
+        c = _container()
+        c.start()
+        c.progress(10.0)
+        c.checkpoint()
+        # Progress past the checkpoint would be lost on restore; we model
+        # restore-from-checkpoint exactly.
+        c.start()
+        assert c.iterations_done == 10.0
+
+    def test_snapshot_payload(self):
+        c = _container()
+        c.start()
+        snap = c.snapshot()
+        assert snap["state"] == "running"
+        assert snap["container_id"] == "c"
+
+
+class TestStorage:
+    def test_put_get_delete(self):
+        storage = GlobalStorage()
+        storage.put("k", {"a": 1})
+        assert storage.get("k") == {"a": 1}
+        storage.delete("k")
+        assert storage.get("k") is None
+
+    def test_get_returns_copy(self):
+        storage = GlobalStorage()
+        storage.put("k", {"a": 1})
+        blob = storage.get("k")
+        blob["a"] = 99
+        assert storage.get("k") == {"a": 1}
+
+    def test_keys_sorted(self):
+        storage = GlobalStorage()
+        storage.put("b", {})
+        storage.put("a", {})
+        assert storage.keys() == ["a", "b"]

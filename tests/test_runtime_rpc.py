@@ -1,0 +1,88 @@
+"""Unit tests for the in-process RPC bus."""
+
+import pytest
+
+from repro.runtime.rpc import RpcBus, RpcError
+
+
+def _echo_service(bus):
+    bus.register("echo", {"say": lambda text: {"text": text}})
+
+
+class TestBus:
+    def test_register_and_call(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        assert bus.call("echo", "say", text="hi") == {"text": "hi"}
+        assert bus.calls_made == 1
+
+    def test_channel(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        channel = bus.channel("echo")
+        assert channel.call("say", text="yo") == {"text": "yo"}
+
+    def test_duplicate_service_rejected(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        with pytest.raises(RpcError):
+            _echo_service(bus)
+
+    def test_unknown_service(self):
+        bus = RpcBus()
+        with pytest.raises(RpcError):
+            bus.call("nope", "x")
+        with pytest.raises(RpcError):
+            bus.channel("nope")
+
+    def test_unknown_method(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        with pytest.raises(RpcError):
+            bus.call("echo", "shout", text="hi")
+
+    def test_unregister(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        bus.unregister("echo")
+        with pytest.raises(RpcError):
+            bus.call("echo", "say", text="hi")
+
+    def test_services_listing(self):
+        bus = RpcBus()
+        _echo_service(bus)
+        bus.register("other", {})
+        assert bus.services() == ["echo", "other"]
+
+
+class TestSerialization:
+    def test_non_serializable_request_rejected(self):
+        bus = RpcBus()
+        bus.register("s", {"m": lambda value: {"ok": True}})
+        with pytest.raises(RpcError):
+            bus.call("s", "m", value=object())
+
+    def test_non_serializable_response_rejected(self):
+        bus = RpcBus()
+        bus.register("s", {"m": lambda: {"bad": object()}})
+        with pytest.raises(RpcError):
+            bus.call("s", "m")
+
+    def test_non_dict_response_rejected(self):
+        bus = RpcBus()
+        bus.register("s", {"m": lambda: 42})
+        with pytest.raises(RpcError):
+            bus.call("s", "m")
+
+    def test_non_string_dict_keys_rejected(self):
+        bus = RpcBus()
+        bus.register("s", {"m": lambda: {"map": {1: "x"}}})
+        with pytest.raises(RpcError):
+            bus.call("s", "m")
+
+    def test_nested_payloads_allowed(self):
+        bus = RpcBus()
+        bus.register(
+            "s", {"m": lambda: {"nested": {"list": [1, 2.5, "x", None, True]}}}
+        )
+        assert bus.call("s", "m")["nested"]["list"] == [1, 2.5, "x", None, True]

@@ -1,0 +1,99 @@
+"""Unit tests for the per-instance worker."""
+
+import pytest
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cluster.instance import fresh_instance
+from repro.interference.model import InterferenceModel, no_interference_model
+from repro.runtime.container import GlobalStorage
+from repro.runtime.rpc import RpcBus
+from repro.runtime.worker import Worker
+
+
+def _worker(interference=None, storage=None):
+    return Worker(
+        instance=fresh_instance(ec2_catalog()[2]),
+        storage=storage or GlobalStorage(),
+        interference=interference or no_interference_model(),
+    )
+
+
+class TestTaskHosting:
+    def test_launch_and_progress(self):
+        w = _worker()
+        w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        w.advance(100.0)
+        assert w.iterations_of("t") == pytest.approx(100.0)
+
+    def test_duplicate_launch_rejected(self):
+        w = _worker()
+        w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        with pytest.raises(ValueError):
+            w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+
+    def test_interference_slows_progress(self):
+        w = _worker(interference=InterferenceModel())
+        w.launch_task(task_id="a", workload="GCN", image="i", command="c")
+        w.launch_task(task_id="b", workload="A3C", image="i", command="c")
+        w.advance(100.0)
+        # GCN next to A3C runs at 0.65 (Figure 1).
+        assert w.iterations_of("a") == pytest.approx(65.0)
+
+    def test_throughput_report(self):
+        w = _worker(interference=InterferenceModel())
+        w.launch_task(task_id="a", workload="GCN", image="i", command="c")
+        w.launch_task(task_id="b", workload="A3C", image="i", command="c")
+        report = w.report_throughput()["throughputs"]
+        assert report["a"] == pytest.approx(0.65)
+        assert report["b"] == pytest.approx(0.94)
+
+
+class TestMigrationFlow:
+    def test_checkpoint_restore_across_workers(self):
+        storage = GlobalStorage()
+        src = _worker(storage=storage)
+        src.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        src.advance(50.0)
+        src.checkpoint_task("t")
+        assert storage.get("ckpt/t")["iterations"] == pytest.approx(50.0)
+
+        dst = _worker(storage=storage)
+        response = dst.launch_task(
+            task_id="t", workload="GCN", image="i", command="c"
+        )
+        assert response["restored"] is True
+        dst.advance(25.0)
+        assert dst.iterations_of("t") == pytest.approx(75.0)
+
+    def test_checkpoint_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            _worker().checkpoint_task("ghost")
+
+    def test_remove_task_clears_checkpoint(self):
+        storage = GlobalStorage()
+        w = _worker(storage=storage)
+        w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        w.advance(10.0)
+        w.checkpoint_task("t")
+        w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        w.remove_task("t")
+        assert storage.get("ckpt/t") is None
+        assert w.remove_task("t") == {"removed": False}
+
+
+class TestRpcSurface:
+    def test_register_and_call_via_bus(self):
+        bus = RpcBus()
+        w = _worker()
+        w.register(bus)
+        bus.call(
+            w.service_name,
+            "launch_task",
+            task_id="t",
+            workload="GCN",
+            image="i",
+            command="c",
+        )
+        assert bus.call(w.service_name, "list_tasks")["task_ids"] == ["t"]
+        w.unregister(bus)
+        assert w.service_name not in bus.services()

@@ -1,0 +1,165 @@
+"""Unit tests for the EvaScheduler (§3, §4)."""
+
+import pytest
+
+from repro.cluster.instance import fresh_instance
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import ClusterSnapshot, InstanceState
+from repro.cluster.task import make_job
+from repro.core.interfaces import JobThroughputReport
+from repro.core.scheduler import EvaConfig, EvaScheduler, make_eva_variant
+from repro.core.throughput_table import TaskPlacementObservation
+
+
+def _snapshot(jobs, placements=None, time_s=0.0):
+    tasks = {t.task_id: t for j in jobs for t in j.tasks}
+    instances = []
+    for inst, tids in (placements or {}).items():
+        instances.append(InstanceState(instance=inst, task_ids=frozenset(tids)))
+    return ClusterSnapshot(
+        time_s=time_s,
+        tasks=tasks,
+        jobs={j.job_id: j for j in jobs},
+        instances=instances,
+    )
+
+
+def _job(workload, demand, job_id, num_tasks=1):
+    return make_job(
+        workload, {"*": ResourceVector(*demand)}, 1.0,
+        job_id=job_id, num_tasks=num_tasks,
+    )
+
+
+class TestConfig:
+    def test_both_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            EvaConfig(enable_full=False, enable_partial=False)
+
+    def test_variant_factory(self, catalog):
+        names = {
+            "eva": "Eva",
+            "eva-rp": "Eva-RP",
+            "eva-single": "Eva-Single",
+            "eva-full-only": "Eva-Full-only",
+            "eva-partial-only": "Eva-Partial-only",
+        }
+        for key, name in names.items():
+            assert make_eva_variant(catalog, key).name == name
+
+    def test_unknown_variant(self, catalog):
+        with pytest.raises(KeyError):
+            make_eva_variant(catalog, "eva-turbo")
+
+    def test_with_config_override(self, catalog):
+        base = EvaScheduler(catalog)
+        derived = base.with_config(interference_aware=False)
+        assert derived.config.interference_aware is False
+        assert base.config.interference_aware is True
+
+
+class TestScheduling:
+    def test_places_all_tasks_validly(self, example_catalog):
+        scheduler = EvaScheduler(example_catalog)
+        jobs = [
+            _job("w1", (2, 8, 24), "j1"),
+            _job("w2", (1, 4, 10), "j2"),
+            _job("w3", (0, 6, 20), "j3"),
+        ]
+        snapshot = _snapshot(jobs)
+        target = scheduler.schedule(snapshot)
+        target.validate(snapshot)
+        assert set(target.assignment()) == set(snapshot.tasks)
+
+    def test_keeps_efficient_instances_when_partial_wins(self, example_catalog):
+        scheduler = EvaScheduler(example_catalog)
+        job = _job("w1", (4, 16, 64), "big")
+        inst = fresh_instance(example_catalog[0])
+        snapshot = _snapshot([job], {inst: [job.tasks[0].task_id]})
+        target = scheduler.schedule(snapshot)
+        assert target.assignment()[job.tasks[0].task_id] == inst.instance_id
+
+    def test_event_tracking_across_rounds(self, example_catalog):
+        scheduler = EvaScheduler(example_catalog)
+        j1 = _job("w1", (1, 4, 10), "e1")
+        scheduler.schedule(_snapshot([j1], time_s=0.0))
+        assert scheduler.policy.estimator.total_events == 1
+        j2 = _job("w1", (1, 4, 10), "e2")
+        scheduler.schedule(_snapshot([j1, j2], time_s=300.0))
+        assert scheduler.policy.estimator.total_events == 2
+        # j1 completes: one more event.
+        scheduler.schedule(_snapshot([j2], time_s=600.0))
+        assert scheduler.policy.estimator.total_events == 3
+
+    def test_full_only_variant_has_no_decision(self, example_catalog):
+        scheduler = EvaScheduler(
+            example_catalog, config=EvaConfig(enable_partial=False)
+        )
+        job = _job("w1", (1, 4, 10), "f1")
+        scheduler.schedule(_snapshot([job]))
+        assert scheduler.last_decision is None
+
+    def test_ensemble_decision_recorded(self, example_catalog):
+        scheduler = EvaScheduler(example_catalog)
+        job = _job("w1", (1, 4, 10), "d1")
+        scheduler.schedule(_snapshot([job]))
+        assert scheduler.last_decision is not None
+        assert 0.0 <= scheduler.full_adoption_fraction() <= 1.0
+
+
+class TestThroughputIntegration:
+    def test_reports_update_monitor(self, example_catalog):
+        scheduler = EvaScheduler(example_catalog)
+        report = JobThroughputReport(
+            job_id="j",
+            normalized_tput=0.8,
+            placements=(
+                TaskPlacementObservation(workload="w1", neighbours=("w2",)),
+            ),
+        )
+        scheduler.on_throughput_reports((report,))
+        assert scheduler.monitor.table.tput("w1", ["w2"]) == 0.8
+
+    def test_learned_interference_prevents_colocation(self, example_catalog):
+        """After observing severe interference, Eva splits the pair."""
+        scheduler = EvaScheduler(example_catalog)
+        j1 = _job("w1", (2, 8, 24), "p1")
+        j2 = _job("w2", (1, 4, 10), "p2")
+        for w1, w2 in (("w1", "w2"), ("w2", "w1")):
+            scheduler.on_throughput_reports(
+                (
+                    JobThroughputReport(
+                        job_id="x",
+                        normalized_tput=0.3,
+                        placements=(
+                            TaskPlacementObservation(
+                                workload=w1, neighbours=(w2,)
+                            ),
+                        ),
+                    ),
+                )
+            )
+        snapshot = _snapshot([j1, j2])
+        target = scheduler.schedule(snapshot)
+        assignment = target.assignment()
+        assert assignment[j1.tasks[0].task_id] != assignment[j2.tasks[0].task_id]
+
+    def test_rp_variant_ignores_reports(self, example_catalog):
+        scheduler = make_eva_variant(example_catalog, "eva-rp")
+        j1 = _job("w1", (2, 8, 24), "q1")
+        j2 = _job("w2", (1, 4, 10), "q2")
+        scheduler.on_throughput_reports(
+            (
+                JobThroughputReport(
+                    job_id="x",
+                    normalized_tput=0.1,
+                    placements=(
+                        TaskPlacementObservation(workload="w1", neighbours=("w2",)),
+                    ),
+                ),
+            )
+        )
+        target = scheduler.schedule(_snapshot([j1, j2]))
+        assignment = target.assignment()
+        # RP mode packs regardless of the learned interference.
+        assert assignment[j1.tasks[0].task_id] == assignment[j2.tasks[0].task_id]

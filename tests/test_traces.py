@@ -1,0 +1,124 @@
+"""Unit and property tests for traces and the synthetic generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import (
+    microbench_task_pool,
+    multitask_microbench_trace,
+    synthetic_trace,
+)
+from repro.workloads.trace import Trace, poisson_arrival_times
+
+
+class TestSyntheticTrace:
+    def test_sizes(self):
+        assert len(synthetic_trace(32, seed=0)) == 32
+        assert len(synthetic_trace(120, seed=0)) == 120
+
+    def test_sorted_arrivals(self):
+        trace = synthetic_trace(50, seed=1)
+        arrivals = [j.arrival_time_s for j in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_durations_in_range(self):
+        trace = synthetic_trace(100, seed=2, duration_range_hours=(0.5, 3.0))
+        assert all(0.5 <= j.duration_hours <= 3.0 for j in trace)
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_trace(20, seed=5)
+        b = synthetic_trace(20, seed=5)
+        assert [j.workload for j in a] == [j.workload for j in b]
+        assert [j.arrival_time_s for j in a] == [j.arrival_time_s for j in b]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_trace(20, seed=5)
+        b = synthetic_trace(20, seed=6)
+        assert [j.arrival_time_s for j in a] != [j.arrival_time_s for j in b]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(0)
+        with pytest.raises(ValueError):
+            synthetic_trace(5, duration_range_hours=(3.0, 1.0))
+
+    def test_mean_interarrival(self):
+        trace = synthetic_trace(2000, seed=3, mean_interarrival_s=1200.0)
+        arrivals = np.array([j.arrival_time_s for j in trace])
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(1200.0, rel=0.15)
+
+
+class TestMultitaskTrace:
+    def test_arity(self):
+        trace = multitask_microbench_trace(num_jobs=10, tasks_per_job=4, seed=0)
+        assert all(j.num_tasks == 4 for j in trace)
+
+    def test_duration_range(self):
+        trace = multitask_microbench_trace(num_jobs=30, seed=1)
+        assert all(0.5 <= j.duration_hours <= 16.0 for j in trace)
+
+
+class TestTaskPool:
+    def test_pool_size_and_uniqueness(self):
+        pool = microbench_task_pool(50, seed=0)
+        assert len(pool) == 50
+        assert len({t.task_id for t in pool}) == 50
+
+
+class TestTraceContainer:
+    def test_head(self):
+        trace = synthetic_trace(10, seed=0)
+        assert len(trace.head(3)) == 3
+
+    def test_filter(self):
+        trace = synthetic_trace(30, seed=0)
+        gpu_only = trace.filter(lambda j: j.tasks[0].max_demand.gpus > 0)
+        assert all(j.tasks[0].max_demand.gpus > 0 for j in gpu_only)
+
+    def test_unsorted_rejected(self):
+        trace = synthetic_trace(5, seed=0)
+        shuffled = tuple(reversed(trace.jobs))
+        with pytest.raises(ValueError):
+            Trace(name="bad", jobs=shuffled)
+
+    def test_json_round_trip(self):
+        trace = synthetic_trace(8, seed=4)
+        restored = Trace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        for a, b in zip(trace, restored):
+            assert a.job_id == b.job_id
+            assert a.duration_hours == b.duration_hours
+            assert a.workload == b.workload
+            assert [t.task_id for t in a.tasks] == [t.task_id for t in b.tasks]
+            for ta, tb in zip(a.tasks, b.tasks):
+                assert ta.demands == dict(tb.demands)
+                assert ta.migration == tb.migration
+
+    def test_save_load(self, tmp_path):
+        trace = synthetic_trace(3, seed=9)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert len(Trace.load(path)) == 3
+
+    def test_stats(self):
+        trace = synthetic_trace(40, seed=0)
+        comp = trace.gpu_demand_composition()
+        assert sum(comp.values()) == pytest.approx(1.0)
+        assert trace.num_tasks() >= len(trace)
+        assert trace.span_hours() > 0
+
+
+class TestPoissonArrivals:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_monotone_nonnegative(self, n):
+        times = poisson_arrival_times(n, 60.0, np.random.default_rng(0))
+        assert len(times) == n
+        assert all(t >= 0 for t in times)
+        assert times == sorted(times)
+
+    def test_empty(self):
+        assert poisson_arrival_times(0, 60.0, np.random.default_rng(0)) == []

@@ -1,0 +1,63 @@
+"""Unit tests for the Table 7 workload suite."""
+
+import pytest
+
+from repro.cluster.task import DEFAULT_FAMILY
+from repro.workloads.workloads import (
+    CPU_WORKLOADS,
+    GPU_WORKLOADS_BY_COUNT,
+    TABLE7_WORKLOADS,
+    workload,
+    workload_names,
+)
+
+
+class TestTable7:
+    def test_ten_workloads(self):
+        assert len(TABLE7_WORKLOADS) == 10
+
+    def test_transcription_spot_checks(self):
+        gpt2 = workload("GPT2")
+        assert (gpt2.gpus, gpt2.cpus_p3, gpt2.ram_gb) == (4, 4, 10)
+        assert (gpt2.checkpoint_s, gpt2.launch_s) == (30, 15)
+        diamond = workload("Diamond")
+        assert (diamond.cpus_p3, diamond.cpus_other) == (14, 8)
+        vit = workload("ViT")
+        assert (vit.gpus, vit.cpus_p3, vit.ram_gb) == (2, 8, 60)
+
+    def test_tasks_per_job(self):
+        assert workload("ResNet18-2").tasks_per_job == 2
+        assert workload("ResNet18-4").tasks_per_job == 4
+        assert all(
+            workload(n).tasks_per_job == 1
+            for n in workload_names()
+            if not n.startswith("ResNet18")
+        )
+
+    def test_demands_family_split(self):
+        gcn = workload("GCN")
+        demands = gcn.demands()
+        assert demands["p3"].cpus == 12
+        assert demands["c7i"].cpus == 6
+        assert demands["r7i"].cpus == 6
+        assert demands[DEFAULT_FAMILY].cpus == 12
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("BERT")
+
+    def test_make_job_wiring(self):
+        job = workload("ResNet18-4").make_job(duration_hours=2.0, arrival_time_s=60.0)
+        assert job.num_tasks == 4
+        assert job.duration_hours == 2.0
+        assert job.arrival_time_s == 60.0
+        task = job.tasks[0]
+        assert task.migration.checkpoint_s == 2
+        assert task.migration.launch_s == 80
+
+    def test_gpu_cpu_partitions(self):
+        gpu_names = {n for names in GPU_WORKLOADS_BY_COUNT.values() for n in names}
+        for name in gpu_names:
+            assert workload(name).is_gpu_workload
+        for name in CPU_WORKLOADS:
+            assert not workload(name).is_gpu_workload
