@@ -3,21 +3,39 @@
 Each bench regenerates one paper table/figure, prints the rendered rows
 (visible with ``pytest -s``) and persists them under
 ``benchmarks/results/`` so a full run leaves an inspectable record.
+
+The experiments route their trial grids through
+:mod:`repro.sim.batch`, so ``EVA_BENCH_WORKERS=N`` fans each bench's
+simulations out over N processes; saved results are stamped with the
+scale/worker configuration so records stay comparable across runs.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from repro.experiments.common import bench_scale, bench_workers
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def config_note() -> str:
+    """The scale/parallelism stamp appended to every saved result."""
+    workers = bench_workers()
+    mode = "parallel" if workers > 1 else "serial"
+    return (
+        f"[EVA_BENCH_SCALE={bench_scale():g}, "
+        f"EVA_BENCH_WORKERS={workers} ({mode})]"
+    )
 
 
 def save_and_print(name: str, text: str) -> None:
     """Print a rendered experiment table and save it to the results dir."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    stamped = f"{text}\n{config_note()}"
+    (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
     print()
-    print(text)
+    print(stamped)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -2,9 +2,11 @@
 
 from repro.analysis.charts import line_chart, sweep_chart
 from repro.analysis.comparison import (
+    STANDARD_SCHEDULERS,
     ComparisonResult,
     compare_schedulers,
     standard_scheduler_factories,
+    standard_scheduler_names,
 )
 from repro.analysis.reporting import (
     ExperimentTable,
@@ -16,9 +18,11 @@ from repro.analysis.reporting import (
 __all__ = [
     "line_chart",
     "sweep_chart",
+    "STANDARD_SCHEDULERS",
     "ComparisonResult",
     "compare_schedulers",
     "standard_scheduler_factories",
+    "standard_scheduler_names",
     "ExperimentTable",
     "percent",
     "render_cdf",

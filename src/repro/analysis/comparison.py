@@ -4,49 +4,70 @@ The evaluation repeatedly runs the same trace under several schedulers and
 reports costs normalized against No-Packing (§6.1 "Metrics").  This module
 packages that loop, including fresh-scheduler construction per run (the
 schedulers are stateful learners) and the standard end-to-end table shape.
+
+Scheduler grids are expressed as ``{display name: registry name}`` (see
+:func:`repro.core.make_scheduler`) and executed through
+:func:`repro.sim.batch.run_batch`, so a comparison fans out over
+``EVA_BENCH_WORKERS`` processes; ``{display name: callable}`` grids are
+still accepted and run serially in-process (callables don't pickle).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping
 
 from repro.analysis.reporting import ExperimentTable, percent
-from repro.baselines import (
-    NoPackingScheduler,
-    OwlScheduler,
-    StratusScheduler,
-    SynergyScheduler,
-)
 from repro.cloud.delays import DelayModel
-from repro.cluster.instance import InstanceType
 from repro.core.interfaces import Scheduler
-from repro.core.scheduler import EvaScheduler
 from repro.interference.model import InterferenceModel
+from repro.sim.batch import Scenario, TraceSpec, run_batch
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import DEFAULT_PERIOD_S, run_simulation
 from repro.workloads.trace import Trace
 
 SchedulerFactory = Callable[[], Scheduler]
 
+#: The five evaluation schedulers (§6.1), display name → registry name.
+STANDARD_SCHEDULERS: dict[str, str] = {
+    "No-Packing": "no-packing",
+    "Stratus": "stratus",
+    "Synergy": "synergy",
+    "Owl": "owl",
+    "Eva": "eva",
+}
+
+
+def standard_scheduler_names() -> dict[str, str]:
+    """A fresh copy of the standard display-name → registry-name grid."""
+    return dict(STANDARD_SCHEDULERS)
+
 
 def standard_scheduler_factories(
-    catalog: Sequence[InstanceType],
+    catalog,
     interference: InterferenceModel | None = None,
     delay_model: DelayModel | None = None,
 ) -> dict[str, SchedulerFactory]:
-    """The five evaluation schedulers, freshly constructed per run.
+    """The five evaluation schedulers as in-process factories.
 
     Owl receives the ground-truth pairwise profile (§6.1 provides the
-    co-location profile exclusively to Owl).
+    co-location profile exclusively to Owl).  Prefer
+    :func:`standard_scheduler_names` for anything batch-shaped — these
+    closures don't pickle.
     """
-    profile = interference or InterferenceModel()
+    from repro.core import make_scheduler
+
+    def factory_for(registry_name: str) -> SchedulerFactory:
+        return lambda: make_scheduler(
+            registry_name,
+            catalog,
+            interference=interference,
+            delay_model=delay_model,
+        )
+
     return {
-        "No-Packing": lambda: NoPackingScheduler(catalog),
-        "Stratus": lambda: StratusScheduler(catalog),
-        "Synergy": lambda: SynergyScheduler(catalog),
-        "Owl": lambda: OwlScheduler(catalog, profile=profile),
-        "Eva": lambda: EvaScheduler(catalog, delay_model=delay_model),
+        display: factory_for(registry_name)
+        for display, registry_name in STANDARD_SCHEDULERS.items()
     }
 
 
@@ -123,23 +144,69 @@ class ComparisonResult:
 
 
 def compare_schedulers(
-    trace: Trace,
-    factories: dict[str, SchedulerFactory],
+    trace: Trace | TraceSpec,
+    factories: Mapping[str, SchedulerFactory | str] | None = None,
     interference: InterferenceModel | None = None,
     delay_model: DelayModel | None = None,
     period_s: float = DEFAULT_PERIOD_S,
     validate: bool = False,
+    workers: int | None = None,
 ) -> ComparisonResult:
-    """Run ``trace`` under every scheduler factory and bundle the results."""
+    """Run ``trace`` under every scheduler and bundle the results.
+
+    ``trace`` may be an inline :class:`Trace` or a
+    :class:`~repro.sim.batch.TraceSpec` — pass a spec for large traces
+    so workers rebuild it instead of unpickling one copy per scheduler.
+    ``factories`` maps display names to either scheduler *registry names*
+    (strings — the preferred form: those comparisons are expressed as
+    :class:`~repro.sim.batch.Scenario` lists and fan out over
+    ``EVA_BENCH_WORKERS``/``workers`` processes) or zero-argument
+    callables (run serially in-process).  ``None`` means the standard
+    five-scheduler grid.
+    """
+    if factories is None:
+        factories = standard_scheduler_names()
     results: dict[str, SimulationResult] = {}
-    for name, factory in factories.items():
-        scheduler = factory()
-        results[name] = run_simulation(
-            trace,
-            scheduler,
+
+    named = {
+        display: ref for display, ref in factories.items() if isinstance(ref, str)
+    }
+    scenarios = [
+        Scenario(
+            scheduler=registry_name,
+            trace=trace,
+            name=display,
             interference=interference,
             delay_model=delay_model,
             period_s=period_s,
             validate=validate,
         )
-    return ComparisonResult(trace_name=trace.name, results=results)
+        for display, registry_name in named.items()
+    ]
+    for outcome in run_batch(scenarios, workers=workers):
+        results[outcome.scenario.name] = outcome.result
+
+    has_callables = any(not isinstance(ref, str) for ref in factories.values())
+    if has_callables:
+        concrete = trace if isinstance(trace, Trace) else trace.build()
+        for display, ref in factories.items():
+            if isinstance(ref, str):
+                continue
+            results[display] = run_simulation(
+                concrete,
+                ref(),
+                interference=interference,
+                delay_model=delay_model,
+                period_s=period_s,
+                validate=validate,
+            )
+
+    # Preserve the caller's grid order (normalization tables iterate it).
+    results = {display: results[display] for display in factories}
+    if isinstance(trace, Trace):
+        trace_name = trace.name
+    elif results:
+        trace_name = next(iter(results.values())).trace_name
+    else:
+        trace_name = f"{trace.builder}-spec"
+    return ComparisonResult(trace_name=trace_name, results=results)

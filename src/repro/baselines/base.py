@@ -91,7 +91,7 @@ class ReactiveScheduler(Scheduler):
         open_instances = [
             OpenInstance(
                 instance=state.instance,
-                tasks=[snapshot.tasks[tid] for tid in state.task_ids],
+                tasks=[snapshot.tasks[tid] for tid in sorted(state.task_ids)],
             )
             for state in snapshot.instances
         ]

@@ -96,7 +96,10 @@ class ClusterSnapshot:
         state = self.instance_of(task_id)
         if state is None:
             return []
-        return [self.tasks[tid] for tid in state.task_ids if tid != task_id]
+        # Sorted so downstream packing/evaluation decisions never depend
+        # on hash-randomized frozenset iteration order (cross-process
+        # determinism).
+        return [self.tasks[tid] for tid in sorted(state.task_ids) if tid != task_id]
 
 
 @dataclass(frozen=True, slots=True)

@@ -107,7 +107,7 @@ def provisioning_saving(
     """
     saving = 0.0
     for ti in target.instances:
-        tasks = [snapshot.tasks[tid] for tid in ti.task_ids]
+        tasks = [snapshot.tasks[tid] for tid in sorted(ti.task_ids)]
         saving += evaluator.set_value(tasks) - ti.hourly_cost
     return saving
 

@@ -183,7 +183,9 @@ class EvaScheduler(Scheduler):
         self, snapshot: ClusterSnapshot, evaluator: AssignmentEvaluator
     ) -> TargetConfiguration:
         current = [
-            (st.instance, [snapshot.tasks[tid] for tid in st.task_ids])
+            # Sorted: greedy repacking must not depend on hash-randomized
+            # frozenset order, or results change per process.
+            (st.instance, [snapshot.tasks[tid] for tid in sorted(st.task_ids)])
             for st in snapshot.instances
         ]
         result = partial_reconfiguration(

@@ -4,11 +4,21 @@
 counts so the full harness finishes on a laptop while preserving result
 shapes; set it above 1 (e.g. ``EVA_BENCH_SCALE=8``) to approach the
 paper's full scale (6,274-job traces, 30-trial micro-benchmarks).
+
+``EVA_BENCH_WORKERS`` (int, default 1) fans the experiment trial grids
+out over that many worker processes via :mod:`repro.sim.batch`; the
+parsing lives there (the batch layer owns the knob) and is re-exported
+here so experiment code has one import site for both knobs.
 """
 
 from __future__ import annotations
 
+import math
 import os
+
+from repro.sim.batch import bench_workers
+
+__all__ = ["bench_scale", "bench_workers", "scaled"]
 
 
 def bench_scale() -> float:
@@ -18,6 +28,8 @@ def bench_scale() -> float:
         value = float(raw)
     except ValueError as exc:
         raise ValueError(f"EVA_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if not math.isfinite(value):
+        raise ValueError(f"EVA_BENCH_SCALE must be finite, got {value}")
     if value <= 0:
         raise ValueError(f"EVA_BENCH_SCALE must be positive, got {value}")
     return value

@@ -13,15 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines import NoPackingScheduler, OwlScheduler
-from repro.cloud.catalog import ec2_catalog
-from repro.core.scheduler import make_eva_variant
 from repro.experiments.common import scaled
 from repro.interference.model import InterferenceModel
-from repro.sim.simulator import run_simulation
-from repro.workloads.alibaba import synthesize_alibaba_trace
+from repro.sim.batch import Scenario, TraceSpec, run_grid
 
 INTERFERENCE_LEVELS = (1.0, 0.95, 0.9, 0.85, 0.8)
+
+#: Display name → scheduler registry name for every sweep point.
+SCHEDULERS = {
+    "No-Packing": "no-packing",
+    "Owl": "owl",
+    "Eva-RP": "eva-rp",
+    "Eva-TNRP": "eva-tnrp",
+}
 
 
 @dataclass(frozen=True)
@@ -32,23 +36,25 @@ class Fig4Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
-    catalog = ec2_catalog()
-    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+    # A spec, not an inline trace: workers rebuild it instead of paying
+    # the per-cell pickle cost of a multi-thousand-job trace.
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
+
+    grid = run_grid(
+        INTERFERENCE_LEVELS,
+        SCHEDULERS,
+        lambda level, registry_name: Scenario(
+            scheduler=registry_name,
+            trace=trace,
+            interference=InterferenceModel(uniform_value=level),
+            seed=seed,
+        ),
+    )
 
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for level in INTERFERENCE_LEVELS:
-        interference = InterferenceModel(uniform_value=level)
-        factories = {
-            "No-Packing": lambda: NoPackingScheduler(catalog),
-            "Owl": lambda: OwlScheduler(catalog, profile=interference),
-            "Eva-RP": lambda: make_eva_variant(catalog, "eva-rp"),
-            "Eva-TNRP": lambda: make_eva_variant(catalog, "eva-tnrp"),
-        }
-        results = {
-            name: run_simulation(trace, factory(), interference=interference)
-            for name, factory in factories.items()
-        }
+        results = grid[level]
         baseline = results["No-Packing"].total_cost
         for name, result in results.items():
             norm = result.total_cost / baseline

@@ -15,15 +15,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines import NoPackingScheduler, StratusScheduler
-from repro.cloud.catalog import ec2_catalog
 from repro.cloud.delays import DelayModel
-from repro.core.scheduler import make_eva_variant
 from repro.experiments.common import scaled
-from repro.sim.simulator import run_simulation
-from repro.workloads.alibaba import synthesize_alibaba_trace
+from repro.sim.batch import Scenario, TraceSpec, run_grid
 
 DELAY_MULTIPLIERS = (1.0, 2.0, 4.0, 8.0)
+
+#: Display name → scheduler registry name for every sweep point; the
+#: No-Packing entry is the per-multiplier normalization baseline.
+SCHEDULERS = {
+    "No-Packing": "no-packing",
+    "Eva": "eva",
+    "Eva Full-only": "eva-full-only",
+    "Stratus": "stratus",
+}
 
 
 @dataclass(frozen=True)
@@ -36,21 +41,28 @@ class Fig5Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
-    catalog = ec2_catalog()
-    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
+
+    grid = run_grid(
+        DELAY_MULTIPLIERS,
+        SCHEDULERS,
+        lambda mult, registry_name: Scenario(
+            scheduler=registry_name,
+            trace=trace,
+            delay_model=DelayModel(migration_multiplier=mult),
+            seed=seed,
+        ),
+    )
 
     adoption_rows = []
     cost_rows = []
     full_adoption: dict[float, float] = {}
     norm_cost: dict[tuple[str, float], float] = {}
     for mult in DELAY_MULTIPLIERS:
-        delays = DelayModel(migration_multiplier=mult)
-        baseline = run_simulation(
-            trace, NoPackingScheduler(catalog), delay_model=delays
-        )
-        eva = make_eva_variant(catalog, "eva", delay_model=delays)
-        eva_result = run_simulation(trace, eva, delay_model=delays)
-        adoption = eva.full_adoption_fraction()
+        results = dict(grid[mult])
+        baseline = results.pop("No-Packing")
+        eva_result = results["Eva"]
+        adoption = eva_result.full_adoption_fraction or 0.0
         full_adoption[mult] = adoption
         adoption_rows.append(
             (
@@ -59,19 +71,7 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
                 round(eva_result.migrations / max(1, eva_result.num_jobs), 2),
             )
         )
-
-        contenders = {
-            "Eva": eva_result,
-            "Eva Full-only": run_simulation(
-                trace,
-                make_eva_variant(catalog, "eva-full-only", delay_model=delays),
-                delay_model=delays,
-            ),
-            "Stratus": run_simulation(
-                trace, StratusScheduler(catalog), delay_model=delays
-            ),
-        }
-        for name, result in contenders.items():
+        for name, result in results.items():
             norm = result.total_cost / baseline.total_cost
             norm_cost[(name, mult)] = norm
             cost_rows.append((f"{mult:.0f}x", name, round(norm, 3)))

@@ -13,14 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines import NoPackingScheduler, StratusScheduler, SynergyScheduler
-from repro.cloud.catalog import ec2_catalog
-from repro.core.scheduler import make_eva_variant
 from repro.experiments.common import scaled
-from repro.sim.simulator import run_simulation
+from repro.sim.batch import Scenario, run_grid
 from repro.workloads.alibaba import remix_multi_gpu, synthesize_alibaba_trace
 
 MULTI_GPU_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+#: Display name → scheduler registry name for every sweep point.
+SCHEDULERS = {
+    "No-Packing": "no-packing",
+    "Stratus": "stratus",
+    "Synergy": "synergy",
+    "Eva w/o Full Reconfig": "eva-partial-only",
+    "Eva": "eva",
+}
 
 
 @dataclass(frozen=True)
@@ -31,26 +37,24 @@ class Fig6Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Fig6Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
-    catalog = ec2_catalog()
     base_trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+
+    traces = {
+        fraction: remix_multi_gpu(base_trace, fraction, seed=seed)
+        for fraction in MULTI_GPU_FRACTIONS
+    }
+    grid = run_grid(
+        MULTI_GPU_FRACTIONS,
+        SCHEDULERS,
+        lambda fraction, registry_name: Scenario(
+            scheduler=registry_name, trace=traces[fraction], seed=seed
+        ),
+    )
 
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for fraction in MULTI_GPU_FRACTIONS:
-        trace = remix_multi_gpu(base_trace, fraction, seed=seed)
-        factories = {
-            "No-Packing": lambda: NoPackingScheduler(catalog),
-            "Stratus": lambda: StratusScheduler(catalog),
-            "Synergy": lambda: SynergyScheduler(catalog),
-            "Eva w/o Full Reconfig": lambda: make_eva_variant(
-                catalog, "eva-partial-only"
-            ),
-            "Eva": lambda: make_eva_variant(catalog, "eva"),
-        }
-        results = {
-            name: run_simulation(trace, factory())
-            for name, factory in factories.items()
-        }
+        results = grid[fraction]
         baseline = results["No-Packing"].total_cost
         for name, result in results.items():
             norm = result.total_cost / baseline

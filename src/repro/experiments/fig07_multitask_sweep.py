@@ -11,14 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines import NoPackingScheduler, StratusScheduler
-from repro.cloud.catalog import ec2_catalog
-from repro.core.scheduler import make_eva_variant
 from repro.experiments.common import scaled
-from repro.sim.simulator import run_simulation
+from repro.sim.batch import Scenario, run_grid
 from repro.workloads.alibaba import remix_multi_task, synthesize_alibaba_trace
 
 MULTI_TASK_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+#: Display name → scheduler registry name for every sweep point.
+SCHEDULERS = {
+    "No-Packing": "no-packing",
+    "Stratus": "stratus",
+    "Eva-Single": "eva-single",
+    "Eva": "eva",
+}
 
 
 @dataclass(frozen=True)
@@ -29,23 +34,24 @@ class Fig7Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Fig7Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(180, minimum=50, maximum=3000)
-    catalog = ec2_catalog()
     base_trace = synthesize_alibaba_trace(num_jobs, seed=seed)
+
+    traces = {
+        fraction: remix_multi_task(base_trace, fraction, seed=seed)
+        for fraction in MULTI_TASK_FRACTIONS
+    }
+    grid = run_grid(
+        MULTI_TASK_FRACTIONS,
+        SCHEDULERS,
+        lambda fraction, registry_name: Scenario(
+            scheduler=registry_name, trace=traces[fraction], seed=seed
+        ),
+    )
 
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for fraction in MULTI_TASK_FRACTIONS:
-        trace = remix_multi_task(base_trace, fraction, seed=seed)
-        factories = {
-            "No-Packing": lambda: NoPackingScheduler(catalog),
-            "Stratus": lambda: StratusScheduler(catalog),
-            "Eva-Single": lambda: make_eva_variant(catalog, "eva-single"),
-            "Eva": lambda: make_eva_variant(catalog, "eva"),
-        }
-        results = {
-            name: run_simulation(trace, factory())
-            for name, factory in factories.items()
-        }
+        results = grid[fraction]
         baseline = results["No-Packing"].total_cost
         for name, result in results.items():
             norm = result.total_cost / baseline

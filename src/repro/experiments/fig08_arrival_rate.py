@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import compare_schedulers, standard_scheduler_factories
+from repro.analysis.comparison import standard_scheduler_names
 from repro.analysis.reporting import ExperimentTable
-from repro.cloud.catalog import ec2_catalog
 from repro.experiments.common import scaled
-from repro.workloads.alibaba import synthesize_alibaba_trace
+from repro.sim.batch import Scenario, TraceSpec, run_grid
 
 ARRIVAL_RATES_PER_HOUR = (0.5, 1.0, 2.0, 3.0)
 
@@ -27,19 +26,32 @@ class Fig8Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Fig8Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(150, minimum=50, maximum=3000)
-    catalog = ec2_catalog()
+    schedulers = standard_scheduler_names()
+
+    # One flat grid over (rate × scheduler) so the whole sweep fans out;
+    # specs keep multi-thousand-job traces off the pickle wire.
+    grid = run_grid(
+        ARRIVAL_RATES_PER_HOUR,
+        schedulers,
+        lambda rate, registry_name: Scenario(
+            scheduler=registry_name,
+            trace=TraceSpec.make(
+                "alibaba",
+                num_jobs=num_jobs,
+                seed=seed,
+                arrival_rate_per_hour=rate,
+            ),
+            seed=seed,
+        ),
+    )
 
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for rate in ARRIVAL_RATES_PER_HOUR:
-        trace = synthesize_alibaba_trace(
-            num_jobs, seed=seed, arrival_rate_per_hour=rate
-        )
-        comparison = compare_schedulers(
-            trace, standard_scheduler_factories(catalog)
-        )
-        for name in comparison.results:
-            norm = comparison.normalized_cost(name)
+        results = grid[rate]
+        baseline = results["No-Packing"].total_cost
+        for name, result in results.items():
+            norm = result.total_cost / baseline
             norm_cost[(name, rate)] = norm
             rows.append((rate, name, round(norm, 3)))
 

@@ -14,12 +14,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines import NoPackingScheduler
-from repro.cloud.catalog import ec2_catalog
-from repro.core.scheduler import make_eva_variant
 from repro.experiments.common import scaled
-from repro.sim.simulator import run_simulation
-from repro.workloads.synthetic import multitask_microbench_trace
+from repro.sim.batch import Scenario, TraceSpec, run_grid
+
+#: Display name → scheduler registry name for every trial.
+VARIANTS = {
+    "No-Packing": "no-packing",
+    "Eva-Single": "eva-single",
+    "Eva-Multi": "eva",
+}
 
 
 @dataclass(frozen=True)
@@ -36,25 +39,29 @@ def run(
 ) -> Table6Result:
     trials = trials if trials is not None else scaled(3, minimum=2, maximum=10)
     jobs = jobs_per_trial if jobs_per_trial is not None else scaled(40, minimum=20, maximum=100)
-    catalog = ec2_catalog()
-    variants = {
-        "No-Packing": lambda: NoPackingScheduler(catalog),
-        "Eva-Single": lambda: make_eva_variant(catalog, "eva-single"),
-        "Eva-Multi": lambda: make_eva_variant(catalog, "eva"),
-    }
 
-    norm_costs: dict[str, list[float]] = {name: [] for name in variants}
-    jcts: dict[str, list[float]] = {name: [] for name in variants}
+    # Workers rebuild each trial's trace from the spec (cheap to pickle).
+    grid = run_grid(
+        range(trials),
+        VARIANTS,
+        lambda trial, registry_name: Scenario(
+            scheduler=registry_name,
+            trace=TraceSpec.make(
+                "multitask-microbench",
+                num_jobs=jobs,
+                tasks_per_job=4,
+                seed=seed + trial,
+            ),
+            seed=seed + trial,
+        ),
+    )
+
+    norm_costs: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    jcts: dict[str, list[float]] = {name: [] for name in VARIANTS}
     for trial in range(trials):
-        trace = multitask_microbench_trace(
-            num_jobs=jobs, tasks_per_job=4, seed=seed + trial
-        )
-        baseline_cost = None
-        for name, factory in variants.items():
-            result = run_simulation(trace, factory())
-            if name == "No-Packing":
-                baseline_cost = result.total_cost
-            assert baseline_cost is not None
+        results = grid[trial]
+        baseline_cost = results["No-Packing"].total_cost
+        for name, result in results.items():
             norm_costs[name].append(result.total_cost / baseline_cost)
             jcts[name].append(result.mean_jct_hours())
 
@@ -65,7 +72,7 @@ def run(
     rows = []
     cost_stats: dict[str, tuple[float, float]] = {}
     jct_stats: dict[str, tuple[float, float]] = {}
-    for name in variants:
+    for name in VARIANTS:
         cm, cs = mean_std(norm_costs[name])
         jm, js = mean_std(jcts[name])
         cost_stats[name] = (cm, cs)

@@ -12,11 +12,8 @@ from dataclasses import dataclass
 
 from repro.analysis.comparison import ComparisonResult, compare_schedulers
 from repro.analysis.reporting import ExperimentTable, render_cdf
-from repro.baselines import NoPackingScheduler, StratusScheduler
-from repro.cloud.catalog import ec2_catalog
-from repro.core.scheduler import EvaScheduler
 from repro.experiments.common import scaled
-from repro.workloads.synthetic import synthetic_trace
+from repro.sim.batch import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -28,14 +25,15 @@ class Table10Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Table10Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(120, minimum=40, maximum=120)
-    catalog = ec2_catalog()
-    trace = synthetic_trace(num_jobs, seed=seed, name=f"physical-{num_jobs}")
-    factories = {
-        "No-Packing": lambda: NoPackingScheduler(catalog),
-        "Stratus": lambda: StratusScheduler(catalog),
-        "Eva": lambda: EvaScheduler(catalog),
+    trace = TraceSpec.make(
+        "synthetic", num_jobs=num_jobs, seed=seed, name=f"physical-{num_jobs}"
+    )
+    schedulers = {
+        "No-Packing": "no-packing",
+        "Stratus": "stratus",
+        "Eva": "eva",
     }
-    comparison = compare_schedulers(trace, factories)
+    comparison = compare_schedulers(trace, schedulers)
     table = comparison.allocation_table(
         f"Table 10: end-to-end experiment with {num_jobs} jobs"
     )

@@ -5,14 +5,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import (
-    ComparisonResult,
-    compare_schedulers,
-    standard_scheduler_factories,
-)
+from repro.analysis.comparison import ComparisonResult, compare_schedulers
 from repro.analysis.reporting import ExperimentTable
-from repro.cloud.catalog import ec2_catalog
-from repro.workloads.synthetic import small_physical_trace
+from repro.sim.batch import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -22,11 +17,8 @@ class Table11Result:
 
 
 def run(seed: int = 0) -> Table11Result:
-    catalog = ec2_catalog()
-    trace = small_physical_trace(seed=seed)
-    comparison = compare_schedulers(
-        trace, standard_scheduler_factories(catalog)
-    )
+    trace = TraceSpec.make("small-physical", seed=seed)
+    comparison = compare_schedulers(trace)
     table = comparison.allocation_table(
         "Table 11: end-to-end experiment with 32 jobs"
     )

@@ -10,15 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import (
-    ComparisonResult,
-    compare_schedulers,
-    standard_scheduler_factories,
-)
+from repro.analysis.comparison import ComparisonResult, compare_schedulers
 from repro.analysis.reporting import ExperimentTable
-from repro.cloud.catalog import ec2_catalog
 from repro.experiments.common import scaled
-from repro.workloads.alibaba import synthesize_alibaba_trace
+from repro.sim.batch import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -29,11 +24,10 @@ class Table13Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Table13Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(500, minimum=100, maximum=6274)
-    catalog = ec2_catalog()
-    trace = synthesize_alibaba_trace(num_jobs, seed=seed)
-    comparison = compare_schedulers(
-        trace, standard_scheduler_factories(catalog)
-    )
+    # A spec, not an inline trace: workers rebuild the (up to 6,274-job)
+    # trace instead of unpickling one copy per scheduler.
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
+    comparison = compare_schedulers(trace)
     table = comparison.end_to_end_table(
         f"Table 13: end-to-end simulation, Alibaba durations ({num_jobs} jobs)"
     )

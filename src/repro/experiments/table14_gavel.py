@@ -9,13 +9,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.comparison import (
-    ComparisonResult,
-    compare_schedulers,
-    standard_scheduler_factories,
-)
+from repro.analysis.comparison import ComparisonResult, compare_schedulers
 from repro.analysis.reporting import ExperimentTable
-from repro.cloud.catalog import ec2_catalog
 from repro.experiments.common import scaled
 from repro.workloads.alibaba import synthesize_alibaba_trace
 from repro.workloads.gavel import sample_gavel_durations_hours
@@ -29,7 +24,6 @@ class Table14Result:
 
 def run(num_jobs: int | None = None, seed: int = 0) -> Table14Result:
     num_jobs = num_jobs if num_jobs is not None else scaled(250, minimum=80, maximum=6274)
-    catalog = ec2_catalog()
     rng = np.random.default_rng(seed + 7)
     durations = sample_gavel_durations_hours(rng, num_jobs)
     trace = synthesize_alibaba_trace(
@@ -38,9 +32,7 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Table14Result:
         durations_hours=durations,
         name=f"alibaba-gavel-{num_jobs}",
     )
-    comparison = compare_schedulers(
-        trace, standard_scheduler_factories(catalog)
-    )
+    comparison = compare_schedulers(trace)
     table = comparison.end_to_end_table(
         f"Table 14: end-to-end simulation, Gavel durations ({num_jobs} jobs)"
     )

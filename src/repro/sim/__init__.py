@@ -1,5 +1,17 @@
-"""Discrete-event simulation: engine, cluster simulator, metrics."""
+"""Discrete-event simulation: engine, cluster simulator, metrics, batching."""
 
+from repro.sim.batch import (
+    Scenario,
+    ScenarioOutcome,
+    TraceSpec,
+    bench_workers,
+    parallel_map,
+    register_trace_builder,
+    run_batch,
+    run_grid,
+    run_scenario,
+    trace_builder_names,
+)
 from repro.sim.engine import Event, EventKind, EventQueue
 from repro.sim.metrics import (
     AllocationIntegrator,
@@ -16,6 +28,16 @@ from repro.sim.simulator import (
 )
 
 __all__ = [
+    "Scenario",
+    "ScenarioOutcome",
+    "TraceSpec",
+    "bench_workers",
+    "parallel_map",
+    "register_trace_builder",
+    "run_batch",
+    "run_grid",
+    "run_scenario",
+    "trace_builder_names",
     "Event",
     "EventKind",
     "EventQueue",

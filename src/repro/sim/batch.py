@@ -1,0 +1,336 @@
+"""Parallel scenario/batch execution (the sweep layer).
+
+The evaluation is a grid of (scheduler × workload × seed) simulations.
+This module turns one cell of that grid into a picklable
+:class:`Scenario` — the trace (inline or as a named :class:`TraceSpec`),
+a scheduler *registry name* (see :func:`repro.core.make_scheduler`), the
+catalog, and the interference/delay/spot configuration — and fans a list
+of scenarios out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Worker count comes from ``EVA_BENCH_WORKERS`` (default 1).  With one
+worker everything runs serially in-process, so coverage, debuggers and
+profilers keep working; results are identical either way because every
+scenario is executed against a deep copy of its configuration (exactly
+what pickling into a worker process would produce).
+
+Results come back as :class:`ScenarioOutcome` objects in **input order**
+regardless of completion order, each carrying the scenario, its
+:class:`~repro.sim.metrics.SimulationResult`, and the wall-clock time the
+simulation took inside its worker.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
+
+from repro.cloud.delays import DelayModel
+from repro.cluster.instance import InstanceType
+from repro.interference.model import InterferenceModel
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import DEFAULT_PERIOD_S, SpotConfig, run_simulation
+from repro.workloads.trace import Trace
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# ---------------------------------------------------------------------------
+# Worker-count configuration
+# ---------------------------------------------------------------------------
+
+
+def bench_workers() -> int:
+    """The global fan-out width from ``EVA_BENCH_WORKERS`` (default 1)."""
+    raw = os.environ.get("EVA_BENCH_WORKERS", "1")
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"EVA_BENCH_WORKERS must be an integer, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"EVA_BENCH_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def _resolve_workers(workers: int | None, num_items: int) -> int:
+    if workers is None:
+        workers = bench_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return min(workers, max(1, num_items))
+
+
+# ---------------------------------------------------------------------------
+# Generic ordered process fan-out
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+) -> list[_R]:
+    """Apply ``fn`` to every item, fanning out over processes.
+
+    ``fn`` and every item must be picklable (module-level function, plain
+    data).  Results are returned in input order regardless of completion
+    order.  ``workers=None`` reads ``EVA_BENCH_WORKERS``; ``workers=1``
+    (the default environment) runs a plain serial loop in-process.
+    """
+    items = list(items)
+    workers = _resolve_workers(workers, len(items))
+    if workers == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+# ---------------------------------------------------------------------------
+# Trace specs
+# ---------------------------------------------------------------------------
+
+TraceBuilder = Callable[..., Trace]
+
+_TRACE_BUILDERS: dict[str, TraceBuilder] = {}
+
+
+def register_trace_builder(name: str, builder: TraceBuilder) -> None:
+    """Register a named trace builder for :class:`TraceSpec` resolution.
+
+    Worker processes resolve specs against *their own* registry, so
+    custom builders must be registered at import time of a module the
+    workers also import (package code, a conftest) — not inline in a
+    script — or parallel runs under the ``spawn`` start method (macOS,
+    Windows) will not find them.  The same applies to
+    :func:`repro.core.register_scheduler`.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("trace builder name must be non-empty")
+    _TRACE_BUILDERS[key] = builder
+
+
+def trace_builder_names() -> tuple[str, ...]:
+    return tuple(sorted(_TRACE_BUILDERS))
+
+
+def _register_builtin_builders() -> None:
+    from repro.workloads.alibaba import synthesize_alibaba_trace
+    from repro.workloads.synthetic import (
+        multitask_microbench_trace,
+        small_physical_trace,
+        synthetic_trace,
+    )
+
+    register_trace_builder("alibaba", synthesize_alibaba_trace)
+    register_trace_builder("synthetic", synthetic_trace)
+    register_trace_builder("multitask-microbench", multitask_microbench_trace)
+    register_trace_builder("small-physical", small_physical_trace)
+
+
+_register_builtin_builders()
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A trace described by builder name + kwargs instead of inline jobs.
+
+    Keeps scenarios small on the wire: the worker process rebuilds the
+    trace from the (deterministic, seeded) builder.  ``kwargs`` is stored
+    as a sorted tuple of pairs so the spec stays hashable.
+    """
+
+    builder: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, builder: str, **kwargs: Any) -> "TraceSpec":
+        return cls(builder=builder, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self, default_seed: int | None = None) -> Trace:
+        key = self.builder.strip().lower()
+        try:
+            builder = _TRACE_BUILDERS[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown trace builder {self.builder!r}; "
+                f"registered: {', '.join(trace_builder_names())}"
+            ) from None
+        kwargs = dict(self.kwargs)
+        if default_seed is not None:
+            kwargs.setdefault("seed", default_seed)
+        return builder(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (trace, scheduler, environment) cell of an evaluation grid.
+
+    Everything is plain data or a registry name, so a scenario pickles
+    cleanly into a worker process.  ``seed`` is handed to the trace
+    builder when ``trace`` is a :class:`TraceSpec` without an explicit
+    seed; seed the spot market explicitly via ``SpotConfig(seed=...)``.
+
+    Attributes:
+        scheduler: Registry name (see :func:`repro.core.scheduler_names`).
+        trace: Inline :class:`Trace` or a :class:`TraceSpec`.
+        name: Optional display label (defaults to ``scheduler@trace``).
+        catalog: Instance catalog; ``None`` means the §6.1 EC2 catalog.
+        interference: Ground-truth co-location model (given to the
+            simulator, and to schedulers that take a profile, i.e. Owl).
+        delay_model: Reconfiguration delay model (Table 1 means when None).
+        spot: Optional spot-market configuration.
+        period_s: Scheduling period.
+        validate: Validate every target configuration (slower).
+        seed: Scenario seed (see above).
+    """
+
+    scheduler: str
+    trace: Trace | TraceSpec
+    name: str | None = None
+    catalog: tuple[InstanceType, ...] | None = None
+    interference: InterferenceModel | None = None
+    delay_model: DelayModel | None = None
+    spot: SpotConfig | None = None
+    period_s: float = DEFAULT_PERIOD_S
+    validate: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.catalog is not None and not isinstance(self.catalog, tuple):
+            object.__setattr__(self, "catalog", tuple(self.catalog))
+
+    @property
+    def label(self) -> str:
+        if self.name is not None:
+            return self.name
+        trace_name = (
+            self.trace.name
+            if isinstance(self.trace, Trace)
+            else f"{self.trace.builder}-spec"
+        )
+        return f"{self.scheduler}@{trace_name}"
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's result plus its in-worker wall-clock time."""
+
+    scenario: Scenario
+    result: SimulationResult
+    elapsed_s: float
+
+
+def _execute_scenario(scenario: Scenario) -> ScenarioOutcome:
+    """Run one scenario; module-level so it pickles into worker processes.
+
+    The mutable environment models are deep-copied first so serial
+    execution sees exactly the fresh-state semantics of a pickled copy
+    in a worker process (a shared stochastic ``DelayModel``'s RNG, or an
+    ``InterferenceModel`` cache, would otherwise leak state between
+    scenarios and break the serial-vs-parallel determinism guarantee).
+    The trace and catalog are immutable inputs and stay shared — copying
+    a multi-thousand-job trace per scenario would dominate serial runs.
+    """
+    original = scenario
+    interference = copy.deepcopy(scenario.interference)
+    delay_model = copy.deepcopy(scenario.delay_model)
+    from repro.cloud.catalog import ec2_catalog
+    from repro.core import make_scheduler
+
+    catalog: Sequence[InstanceType] = (
+        list(scenario.catalog) if scenario.catalog is not None else ec2_catalog()
+    )
+    trace = (
+        scenario.trace
+        if isinstance(scenario.trace, Trace)
+        else scenario.trace.build(default_seed=scenario.seed)
+    )
+    scheduler = make_scheduler(
+        scenario.scheduler,
+        catalog,
+        interference=interference,
+        delay_model=delay_model,
+    )
+    start = time.perf_counter()
+    result = run_simulation(
+        trace,
+        scheduler,
+        interference=interference,
+        delay_model=delay_model,
+        period_s=scenario.period_s,
+        validate=scenario.validate,
+        spot=scenario.spot,
+    )
+    return ScenarioOutcome(
+        scenario=original, result=result, elapsed_s=time.perf_counter() - start
+    )
+
+
+def run_batch(
+    scenarios: Iterable[Scenario],
+    workers: int | None = None,
+) -> list[ScenarioOutcome]:
+    """Run every scenario, fanning out over ``workers`` processes.
+
+    ``workers=None`` reads ``EVA_BENCH_WORKERS`` (default 1 → serial
+    in-process execution).  Outcomes are returned in input order, and the
+    per-scenario metrics are identical for any worker count: each
+    simulation is seeded and self-contained, and serial execution runs
+    against a deep copy of the scenario just as a worker would.
+    """
+    return parallel_map(_execute_scenario, scenarios, workers=workers)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioOutcome:
+    """Run a single scenario in-process (convenience wrapper)."""
+    return _execute_scenario(scenario)
+
+
+_P = TypeVar("_P")
+
+
+def run_grid(
+    points: Iterable[_P],
+    schedulers: Mapping[str, str],
+    make_scenario: Callable[[_P, str], Scenario],
+    workers: int | None = None,
+) -> dict[_P, dict[str, SimulationResult]]:
+    """Run a (sweep-point × scheduler) grid and key results structurally.
+
+    The sweep experiments (fig04–fig08, table06) all share this shape:
+    for every sweep ``point`` and every ``{display name: registry name}``
+    scheduler, build a scenario, run the whole grid as one batch, and
+    read results back per point.  This helper owns the pairing — results
+    are keyed by ``(point, display name)`` from the same loop that built
+    the scenarios, so reordering or filtering either axis can never
+    silently mispair a result with its cell.
+
+    ``make_scenario(point, registry_name)`` builds one cell's scenario;
+    when it leaves ``name`` unset, the cell is labelled
+    ``"{display}@{point}"``.
+    """
+    points = list(points)
+    cells: list[tuple[_P, str, Scenario]] = []
+    for point in points:
+        for display, registry_name in schedulers.items():
+            scenario = make_scenario(point, registry_name)
+            if scenario.name is None:
+                scenario = replace(scenario, name=f"{display}@{point}")
+            cells.append((point, display, scenario))
+    outcomes = run_batch([cell[2] for cell in cells], workers=workers)
+    grid: dict[_P, dict[str, SimulationResult]] = {point: {} for point in points}
+    for (point, display, _), outcome in zip(cells, outcomes):
+        grid[point][display] = outcome.result
+    return grid

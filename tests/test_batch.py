@@ -1,0 +1,263 @@
+"""Tests for the parallel scenario/batch execution subsystem.
+
+Covers the ISSUE-1 guarantees: per-scenario metrics are byte-identical
+between serial and parallel execution (and across two parallel runs),
+results come back in input order regardless of completion order, every
+registry scheduler survives a smoke run, and the ``EVA_BENCH_WORKERS`` /
+``EVA_BENCH_SCALE`` knobs reject malformed values (including the
+NaN/inf values that previously slipped past the positivity guard).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cloud.delays import DelayModel
+from repro.core import make_scheduler, scheduler_names
+from repro.experiments.common import bench_scale, scaled
+from repro.interference.model import InterferenceModel
+from repro.sim.batch import (
+    Scenario,
+    TraceSpec,
+    bench_workers,
+    parallel_map,
+    run_batch,
+    run_grid,
+    run_scenario,
+)
+from repro.sim.simulator import SpotConfig
+from repro.workloads.synthetic import synthetic_trace
+
+
+def _mixed_scenarios() -> list[Scenario]:
+    """A small grid exercising interference, delays, spot, and specs."""
+    trace = synthetic_trace(6, seed=11)
+    return [
+        Scenario(scheduler="eva", trace=trace, name="eva-plain", seed=11),
+        Scenario(
+            scheduler="owl",
+            trace=trace,
+            name="owl-uniform",
+            interference=InterferenceModel(uniform_value=0.9),
+            seed=11,
+        ),
+        Scenario(
+            scheduler="stratus",
+            trace=trace,
+            name="stratus-stochastic-delays",
+            delay_model=DelayModel(stochastic=True),
+            seed=11,
+        ),
+        Scenario(
+            scheduler="no-packing",
+            trace=trace,
+            name="no-packing-spot",
+            spot=SpotConfig(enabled=True, preemption_rate_per_hour=0.2),
+            seed=11,
+        ),
+        Scenario(
+            scheduler="synergy",
+            trace=TraceSpec.make("synthetic", num_jobs=5),
+            name="synergy-spec",
+            seed=7,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_serial_vs_parallel_byte_identical(self):
+        scenarios = _mixed_scenarios()
+        serial = run_batch(scenarios, workers=1)
+        parallel = run_batch(scenarios, workers=4)
+        assert len(serial) == len(parallel) == len(scenarios)
+        for s_out, p_out in zip(serial, parallel):
+            assert s_out.scenario.name == p_out.scenario.name
+            assert pickle.dumps(s_out.result) == pickle.dumps(p_out.result)
+
+    def test_two_parallel_runs_byte_identical(self):
+        scenarios = _mixed_scenarios()
+        first = run_batch(scenarios, workers=2)
+        second = run_batch(scenarios, workers=2)
+        for a, b in zip(first, second):
+            assert pickle.dumps(a.result) == pickle.dumps(b.result)
+
+    def test_serial_runs_do_not_leak_state_between_scenarios(self):
+        # A stochastic DelayModel carries an RNG; executing the same
+        # scenario object twice must not consume shared RNG state.
+        scenario = Scenario(
+            scheduler="eva",
+            trace=synthetic_trace(4, seed=2),
+            delay_model=DelayModel(stochastic=True),
+        )
+        twice = run_batch([scenario, scenario], workers=1)
+        assert pickle.dumps(twice[0].result) == pickle.dumps(twice[1].result)
+
+
+# ---------------------------------------------------------------------------
+# Ordering
+# ---------------------------------------------------------------------------
+
+
+def _job_count(label_and_jobs: tuple[str, int]) -> tuple[str, int]:
+    return label_and_jobs
+
+
+class TestOrdering:
+    def test_results_in_input_order_despite_uneven_runtimes(self):
+        # The first scenario is much larger than the rest, so with two
+        # workers it finishes *last*; outcomes must still lead with it.
+        big = Scenario(
+            scheduler="eva", trace=synthetic_trace(18, seed=0), name="s0"
+        )
+        small = [
+            Scenario(
+                scheduler="no-packing",
+                trace=synthetic_trace(2, seed=i),
+                name=f"s{i}",
+            )
+            for i in range(1, 5)
+        ]
+        scenarios = [big, *small]
+        outcomes = run_batch(scenarios, workers=2)
+        assert [o.scenario.name for o in outcomes] == [s.name for s in scenarios]
+        assert [o.result.scheduler_name for o in outcomes] == [
+            "Eva",
+            "No-Packing",
+            "No-Packing",
+            "No-Packing",
+            "No-Packing",
+        ]
+
+    def test_parallel_map_preserves_order(self):
+        items = [("x", 3), ("y", 1), ("z", 2)]
+        assert parallel_map(_job_count, items, workers=2) == items
+
+    def test_outcomes_carry_timing(self):
+        outcome = run_scenario(
+            Scenario(scheduler="no-packing", trace=synthetic_trace(2, seed=0))
+        )
+        assert outcome.elapsed_s > 0
+
+    def test_run_grid_keys_results_structurally(self):
+        trace = synthetic_trace(3, seed=1)
+        schedulers = {"No-Packing": "no-packing", "Eva": "eva"}
+        grid = run_grid(
+            (0.9, 1.0),
+            schedulers,
+            lambda point, registry_name: Scenario(
+                scheduler=registry_name,
+                trace=trace,
+                interference=InterferenceModel(uniform_value=point),
+            ),
+            workers=2,
+        )
+        assert set(grid) == {0.9, 1.0}
+        for point, results in grid.items():
+            assert set(results) == set(schedulers)
+            assert results["No-Packing"].scheduler_name == "No-Packing"
+            assert results["Eva"].scheduler_name == "Eva"
+            assert results["Eva"].num_jobs == len(trace)
+
+
+# ---------------------------------------------------------------------------
+# Cross-scheduler smoke matrix
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerMatrix:
+    def test_every_registry_scheduler_completes_tiny_trace(self):
+        trace = synthetic_trace(4, seed=5)
+        names = scheduler_names()
+        assert {"eva", "no-packing", "owl", "stratus", "synergy"} <= set(names)
+        scenarios = [
+            Scenario(scheduler=name, trace=trace, name=name, validate=True)
+            for name in names
+        ]
+        outcomes = run_batch(scenarios, workers=2)
+        for outcome in outcomes:
+            result = outcome.result
+            assert result.num_jobs == len(trace), outcome.scenario.name
+            assert result.total_cost > 0, outcome.scenario.name
+            assert result.makespan_hours > 0, outcome.scenario.name
+
+    def test_registry_rejects_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            run_scenario(
+                Scenario(scheduler="nonesuch", trace=synthetic_trace(2, seed=0))
+            )
+
+    def test_registry_normalizes_aliases(self, catalog):
+        assert make_scheduler("No_Packing", catalog).name == "No-Packing"
+        assert make_scheduler(" EVA-TNRP ", catalog).name == "Eva-TNRP"
+
+    def test_registry_builds_fresh_instances(self, catalog):
+        assert make_scheduler("eva", catalog) is not make_scheduler("eva", catalog)
+
+    def test_trace_spec_rejects_unknown_builder(self):
+        with pytest.raises(KeyError, match="unknown trace builder"):
+            TraceSpec.make("nonesuch").build()
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs
+# ---------------------------------------------------------------------------
+
+
+class TestWorkersKnob:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("EVA_BENCH_WORKERS", raising=False)
+        assert bench_workers() == 1
+
+    def test_parses_valid_value(self, monkeypatch):
+        monkeypatch.setenv("EVA_BENCH_WORKERS", "4")
+        assert bench_workers() == 4
+
+    @pytest.mark.parametrize("raw", ["zero", "2.5", "", "nan"])
+    def test_rejects_non_integers(self, monkeypatch, raw):
+        monkeypatch.setenv("EVA_BENCH_WORKERS", raw)
+        with pytest.raises(ValueError, match="must be an integer"):
+            bench_workers()
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_rejects_non_positive(self, monkeypatch, raw):
+        monkeypatch.setenv("EVA_BENCH_WORKERS", raw)
+        with pytest.raises(ValueError, match=">= 1"):
+            bench_workers()
+
+    def test_run_batch_rejects_bad_workers_argument(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_batch(
+                [Scenario(scheduler="eva", trace=synthetic_trace(2, seed=0))],
+                workers=0,
+            )
+
+
+class TestScaleKnob:
+    def test_parses_valid_value(self, monkeypatch):
+        monkeypatch.setenv("EVA_BENCH_SCALE", "2.0")
+        assert bench_scale() == 2.0
+        assert scaled(10) == 20
+
+    @pytest.mark.parametrize("raw", ["nan", "inf", "-inf", "NaN"])
+    def test_rejects_non_finite(self, monkeypatch, raw):
+        monkeypatch.setenv("EVA_BENCH_SCALE", raw)
+        with pytest.raises(ValueError, match="finite"):
+            bench_scale()
+
+    @pytest.mark.parametrize("raw", ["0", "-1.5"])
+    def test_rejects_non_positive(self, monkeypatch, raw):
+        monkeypatch.setenv("EVA_BENCH_SCALE", raw)
+        with pytest.raises(ValueError, match="positive"):
+            bench_scale()
+
+    def test_rejects_junk(self, monkeypatch):
+        monkeypatch.setenv("EVA_BENCH_SCALE", "big")
+        with pytest.raises(ValueError, match="must be a float"):
+            bench_scale()

@@ -1,0 +1,198 @@
+"""Property-style invariant checks over randomized small traces.
+
+Every simulation — whatever the scheduler, seed, or spot configuration —
+must preserve a few conservation laws:
+
+* **No lost work**: every job in the trace either finishes (appears in
+  the outcomes) or is still queued when the simulator stops; with the
+  run-to-completion entry point that means *all* jobs finish, and the
+  task counts match the trace exactly.
+* **Billing floor**: the total bill is at least the cheapest hourly
+  price times every instance's lifetime (spot runs use the discounted
+  floor) — cost can exceed the floor (pricier SKUs) but never undercut
+  it.
+* **Time sanity**: the makespan covers the latest arrival and the latest
+  finish, and no job finishes before it arrives or runs faster than its
+  standalone duration.
+* **Allocation sanity**: the time-weighted allocation integrator never
+  reports a negative (or, with validation on, over-committed) ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.cluster.resources import RESOURCE_NAMES
+from repro.core import make_scheduler
+from repro.sim.batch import Scenario, run_batch
+from repro.sim.metrics import AllocationIntegrator, SimulationResult
+from repro.sim.simulator import SpotConfig, run_simulation
+from repro.workloads.synthetic import synthetic_trace
+from repro.workloads.trace import Trace
+
+_EPS = 1e-6
+
+
+def _random_trace(seed: int) -> Trace:
+    """A small trace whose size/durations vary with the seed."""
+    rng = np.random.default_rng(seed)
+    num_jobs = int(rng.integers(3, 9))
+    lo = float(rng.uniform(0.2, 0.6))
+    hi = lo + float(rng.uniform(0.5, 2.0))
+    return synthetic_trace(
+        num_jobs,
+        seed=seed,
+        duration_range_hours=(lo, hi),
+        name=f"invariant-{seed}",
+    )
+
+
+def check_invariants(
+    trace: Trace, result: SimulationResult, price_floor_factor: float = 1.0
+) -> None:
+    # -- no lost jobs or tasks ----------------------------------------
+    assert result.num_jobs == len(trace)
+    assert {o.job_id for o in result.jobs} == {j.job_id for j in trace}
+    assert result.num_tasks == trace.num_tasks()
+
+    # -- billing floor -------------------------------------------------
+    min_hourly = min(t.hourly_cost for t in ec2_catalog() if t.hourly_cost > 0)
+    floor = min_hourly * price_floor_factor * sum(result.uptimes_hours)
+    assert result.total_cost >= floor - _EPS
+    assert result.total_cost > 0
+    assert all(u >= 0 for u in result.uptimes_hours)
+    assert len(result.uptimes_hours) == result.instances_launched
+
+    # -- time sanity ---------------------------------------------------
+    makespan_s = result.makespan_hours * 3600.0
+    last_arrival_s = max(j.arrival_time_s for j in trace)
+    assert makespan_s + _EPS >= last_arrival_s
+    for outcome in result.jobs:
+        assert makespan_s + _EPS >= outcome.finish_s
+        assert outcome.finish_s + _EPS >= outcome.arrival_s
+        assert outcome.idle_hours >= -_EPS
+        # Interference only slows jobs down (throughput <= 1), so no job
+        # can beat its standalone duration.
+        assert outcome.jct_hours + _EPS >= outcome.duration_hours
+
+    # -- allocation sanity ---------------------------------------------
+    for resource in RESOURCE_NAMES:
+        assert result.allocation[resource] >= 0.0
+        assert result.allocation[resource] <= 1.0 + _EPS
+    assert result.tasks_per_instance >= 0.0
+    assert result.migrations >= 0
+    assert result.placements >= 0
+    assert result.preemptions >= 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("scheduler", ["eva", "stratus", "no-packing"])
+def test_randomized_traces_preserve_invariants(scheduler, seed, catalog):
+    trace = _random_trace(seed)
+    result = run_simulation(
+        trace, make_scheduler(scheduler, catalog), validate=True
+    )
+    check_invariants(trace, result)
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+def test_spot_preemption_preserves_invariants(seed, catalog):
+    trace = _random_trace(seed)
+    result = run_simulation(
+        trace,
+        make_scheduler("eva", catalog),
+        validate=True,
+        spot=SpotConfig(enabled=True, preemption_rate_per_hour=0.5, seed=seed),
+    )
+    check_invariants(
+        trace, result, price_floor_factor=SimulatedCloud().spot_discount
+    )
+    # Preempted tasks must be re-placed, never dropped.
+    assert result.num_jobs == len(trace)
+
+
+def test_invariants_hold_through_batch_layer():
+    """The batch executor returns the same invariant-respecting results."""
+    traces = [_random_trace(seed) for seed in (10, 11)]
+    scenarios = [
+        Scenario(scheduler=name, trace=trace, validate=True)
+        for trace in traces
+        for name in ("eva", "owl")
+    ]
+    outcomes = run_batch(scenarios, workers=2)
+    for outcome in outcomes:
+        trace = outcome.scenario.trace
+        assert isinstance(trace, Trace)
+        check_invariants(trace, outcome.result)
+
+
+def test_results_identical_across_hash_seeds():
+    """Simulations must not depend on hash-randomized set iteration.
+
+    Regression test: Eva's repacking used to iterate ``frozenset``
+    task-id fields directly, so tie-breaking (and float summation order)
+    varied with ``PYTHONHASHSEED`` — two identical runs in different
+    processes produced different costs.  This exact configuration
+    (100-job Alibaba trace, Eva-RP, uniform 0.95 interference) diverged
+    before the iteration order was pinned.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    script = (
+        "from repro.core import make_scheduler\n"
+        "from repro.cloud.catalog import ec2_catalog\n"
+        "from repro.sim.simulator import run_simulation\n"
+        "from repro.workloads.alibaba import synthesize_alibaba_trace\n"
+        "from repro.interference.model import InterferenceModel\n"
+        "trace = synthesize_alibaba_trace(100, seed=0)\n"
+        "r = run_simulation(trace, make_scheduler('eva-rp', ec2_catalog()),\n"
+        "                   interference=InterferenceModel(uniform_value=0.95))\n"
+        "print(f'{r.total_cost:.12f} {r.migrations} {r.placements} "
+        "{r.makespan_hours:.10f}')\n"
+    )
+    outputs = set()
+    for hash_seed in ("0", "1"):
+        env = {**os.environ, "PYTHONHASHSEED": hash_seed}
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"hash-seed-dependent results: {outputs}"
+
+
+class TestAllocationIntegrator:
+    def test_never_reports_negative_allocation(self):
+        integrator = AllocationIntegrator()
+        zero = {r: 0.0 for r in RESOURCE_NAMES}
+        some = {r: 2.0 for r in RESOURCE_NAMES}
+        cap = {r: 4.0 for r in RESOURCE_NAMES}
+        # Negative and zero intervals are ignored, not subtracted.
+        integrator.accumulate(-5.0, some, cap, 3, 2)
+        integrator.accumulate(0.0, some, cap, 3, 2)
+        assert integrator.allocation_ratios() == {r: 0.0 for r in RESOURCE_NAMES}
+        assert integrator.tasks_per_instance() == 0.0
+
+        integrator.accumulate(10.0, some, cap, 3, 2)
+        ratios = integrator.allocation_ratios()
+        for resource in RESOURCE_NAMES:
+            assert ratios[resource] == pytest.approx(0.5)
+        assert integrator.tasks_per_instance() == pytest.approx(1.5)
+
+        # An idle stretch dilutes but never drives ratios negative.
+        integrator.accumulate(10.0, zero, cap, 0, 2)
+        for value in integrator.allocation_ratios().values():
+            assert 0.0 <= value <= 1.0
