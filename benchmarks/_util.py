@@ -2,21 +2,46 @@
 
 Each bench regenerates one paper table/figure, prints the rendered rows
 (visible with ``pytest -s``) and persists them under
-``benchmarks/results/`` so a full run leaves an inspectable record.
+``benchmarks/results/`` so a full run leaves an inspectable record: the
+human-readable table as ``<name>.txt`` plus a machine-readable
+``<name>.json`` sidecar carrying the wall-clock time, the scale/worker
+configuration, and the git SHA the numbers were produced at — so perf
+records stay comparable across runs and commits.
 
 The experiments route their trial grids through
 :mod:`repro.sim.batch`, so ``EVA_BENCH_WORKERS=N`` fans each bench's
-simulations out over N processes; saved results are stamped with the
-scale/worker configuration so records stay comparable across runs.
+simulations out over N processes.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
+import time
 from pathlib import Path
 
 from repro.experiments.common import bench_scale, bench_workers
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Wall-clock seconds of the most recent :func:`run_once` call, consumed
+#: by the next :func:`save_and_print` (benches time-then-save in pairs).
+_last_elapsed_s: float | None = None
+
+
+def git_sha() -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
 def config_note() -> str:
@@ -29,15 +54,42 @@ def config_note() -> str:
     )
 
 
-def save_and_print(name: str, text: str) -> None:
-    """Print a rendered experiment table and save it to the results dir."""
+def save_and_print(
+    name: str, text: str, elapsed_s: float | None = None
+) -> None:
+    """Print a rendered experiment table and save it to the results dir.
+
+    Writes ``<name>.txt`` (rendered table + config stamp) and a
+    ``<name>.json`` sidecar with the timing and configuration.  When
+    ``elapsed_s`` is omitted, the duration of the most recent
+    :func:`run_once` call (if any) is recorded.
+    """
+    global _last_elapsed_s
+    if elapsed_s is None:
+        elapsed_s = _last_elapsed_s
+    _last_elapsed_s = None
     RESULTS_DIR.mkdir(exist_ok=True)
     stamped = f"{text}\n{config_note()}"
     (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
+    sidecar = {
+        "name": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "eva_bench_scale": bench_scale(),
+        "eva_bench_workers": bench_workers(),
+        "elapsed_s": round(elapsed_s, 4) if elapsed_s is not None else None,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=1, sort_keys=True) + "\n"
+    )
     print()
     print(stamped)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    global _last_elapsed_s
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _last_elapsed_s = time.perf_counter() - start
+    return result

@@ -1,0 +1,180 @@
+"""Hot-path microbenchmark: simulator event loop + Algorithm 1 packing.
+
+Measures the engine's throughput on the two large-trace evaluation
+scenarios (the Table 10 synthetic 120-job trace and a Table 13-style
+Alibaba trace) and emits machine-readable records so future PRs have a
+perf trajectory:
+
+* appends a run record to ``BENCH_hotpath.json`` at the repo root (the
+  committed before/after history), and
+* writes the latest run to ``benchmarks/results/bench_hotpath.json``.
+
+Reported rates: simulation events dispatched per second, scheduling
+rounds per second, and Algorithm 1 ``_pack_one_instance`` calls per
+second.  Event and pack-call counts are taken by wrapping the hot
+functions, so the bench runs unmodified against older revisions of the
+engine (useful for before/after comparisons from a worktree).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full size
+    EVA_BENCH_SCALE=0.2 PYTHONPATH=src python benchmarks/bench_hotpath.py
+    EVA_BENCH_LABEL=my-experiment PYTHONPATH=src python benchmarks/bench_hotpath.py
+
+``EVA_BENCH_SCALE`` shrinks the traces for smoke runs (the CI job uses a
+small scale); ``EVA_BENCH_LABEL`` tags the appended history record.
+``EVA_BENCH_HOTPATH_OUT`` overrides the history file path.
+
+The results fingerprint (per-scenario ``total_cost``) must not move
+across engine optimizations — the determinism/equivalence suite guards
+that, and this bench makes drift visible in the committed history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_hotpath.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cloud.catalog import ec2_catalog  # noqa: E402
+from repro.core import make_scheduler  # noqa: E402
+from repro.experiments.common import bench_scale, scaled  # noqa: E402
+from repro.sim.simulator import ClusterSimulator  # noqa: E402
+from repro.workloads.alibaba import synthesize_alibaba_trace  # noqa: E402
+from repro.workloads.synthetic import synthetic_trace  # noqa: E402
+
+
+def _scenarios() -> list[tuple[str, object, str]]:
+    """(name, trace, scheduler registry name) triples, scale-aware."""
+    table10_jobs = scaled(120, minimum=24, maximum=120)
+    table13_jobs = scaled(300, minimum=40, maximum=6274)
+    return [
+        (
+            f"table10_synthetic{table10_jobs}_eva",
+            synthetic_trace(table10_jobs, seed=0, name=f"physical-{table10_jobs}"),
+            "eva",
+        ),
+        (
+            f"table10_synthetic{table10_jobs}_stratus",
+            synthetic_trace(table10_jobs, seed=0, name=f"physical-{table10_jobs}"),
+            "stratus",
+        ),
+        (
+            f"table13_alibaba{table13_jobs}_eva",
+            synthesize_alibaba_trace(table13_jobs, seed=0),
+            "eva",
+        ),
+    ]
+
+
+def _run_one(name: str, trace, scheduler_name: str) -> dict:
+    """Simulate one scenario with counting wrappers on the hot functions."""
+    import repro.core.full_reconfig as full_reconfig
+
+    counts = {"events": 0, "pack_calls": 0}
+
+    real_pack = full_reconfig._pack_one_instance
+
+    def counting_pack(*args, **kwargs):
+        counts["pack_calls"] += 1
+        return real_pack(*args, **kwargs)
+
+    real_dispatch = ClusterSimulator._dispatch
+
+    def counting_dispatch(self, event):
+        counts["events"] += 1
+        return real_dispatch(self, event)
+
+    full_reconfig._pack_one_instance = counting_pack
+    ClusterSimulator._dispatch = counting_dispatch
+    try:
+        sim = ClusterSimulator(
+            trace=trace, scheduler=make_scheduler(scheduler_name, ec2_catalog())
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        wall_s = time.perf_counter() - start
+    finally:
+        full_reconfig._pack_one_instance = real_pack
+        ClusterSimulator._dispatch = real_dispatch
+
+    return {
+        "scheduler": result.scheduler_name,
+        "num_jobs": result.num_jobs,
+        "wall_s": round(wall_s, 4),
+        "events": counts["events"],
+        "events_per_s": round(counts["events"] / wall_s, 2),
+        "rounds": result.scheduling_rounds,
+        "rounds_per_s": round(result.scheduling_rounds / wall_s, 2),
+        "pack_calls": counts["pack_calls"],
+        "pack_calls_per_s": round(counts["pack_calls"] / wall_s, 2),
+        # Fingerprint: must be identical across engine optimizations.
+        "total_cost": round(result.total_cost, 6),
+    }
+
+
+def _load_history(path: Path) -> dict:
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+            if isinstance(history, dict) and isinstance(history.get("runs"), list):
+                return history
+        except json.JSONDecodeError:
+            pass
+    return {
+        "bench": "hotpath",
+        "description": (
+            "Simulator/packing hot-path throughput on the Table 10/13 "
+            "large-trace scenarios; see docs/benchmarks.md"
+        ),
+        "runs": [],
+    }
+
+
+def main() -> dict:
+    from _util import git_sha  # local import: benchmarks/ is not a package
+
+    record = {
+        "label": os.environ.get("EVA_BENCH_LABEL", "run"),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "eva_bench_scale": bench_scale(),
+        "scenarios": {},
+    }
+    for name, trace, scheduler_name in _scenarios():
+        print(f"[bench_hotpath] {name} ...", flush=True)
+        record["scenarios"][name] = _run_one(name, trace, scheduler_name)
+        stats = record["scenarios"][name]
+        print(
+            f"[bench_hotpath]   {stats['wall_s']:.2f}s  "
+            f"{stats['events_per_s']:.0f} events/s  "
+            f"{stats['rounds_per_s']:.1f} rounds/s  "
+            f"{stats['pack_calls_per_s']:.0f} pack calls/s",
+            flush=True,
+        )
+
+    out_path = Path(os.environ.get("EVA_BENCH_HOTPATH_OUT", DEFAULT_HISTORY))
+    history = _load_history(out_path)
+    history["runs"].append(record)
+    out_path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_hotpath.json").write_text(
+        json.dumps(record, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"[bench_hotpath] appended record to {out_path}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

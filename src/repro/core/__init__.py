@@ -20,10 +20,12 @@ from repro.core.evaluation import (
     AssignmentEvaluator,
     PackState,
     RPEvaluator,
+    TNRPCaches,
     TNRPEvaluator,
 )
 from repro.core.full_reconfig import (
     PackedInstance,
+    PackMemo,
     configuration_cost,
     full_reconfiguration,
     match_existing_instances,
@@ -169,7 +171,9 @@ __all__ = [
     "AssignmentEvaluator",
     "PackState",
     "RPEvaluator",
+    "TNRPCaches",
     "TNRPEvaluator",
+    "PackMemo",
     "PackedInstance",
     "configuration_cost",
     "full_reconfiguration",

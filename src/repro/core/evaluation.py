@@ -32,6 +32,12 @@ from repro.core.throughput_table import CoLocationThroughputTable
 class PackState(ABC):
     """Incremental evaluation of one instance's tentative task set ``T``."""
 
+    #: True when ``value_with(τ) == value + delta(τ)`` with ``delta(τ)``
+    #: independent of the current members.  Algorithm 1's argmax then
+    #: computes each group's delta once per packing and reuses it across
+    #: iterations of the scan instead of re-calling ``value_with``.
+    delta_stable: bool = False
+
     @property
     @abstractmethod
     def value(self) -> float:
@@ -40,6 +46,10 @@ class PackState(ABC):
     @abstractmethod
     def value_with(self, task: Task) -> float:
         """Value of ``T ∪ {task}`` without mutating the state."""
+
+    def delta(self, task: Task) -> float:
+        """Member-independent increment (only when ``delta_stable``)."""
+        raise NotImplementedError(f"{type(self).__name__} is not delta-stable")
 
     @abstractmethod
     def add(self, task: Task) -> None:
@@ -69,6 +79,17 @@ class AssignmentEvaluator(ABC):
         """
         return (task.workload, _demand_signature(task))
 
+    def cache_token(self) -> tuple | None:
+        """Hashable token identifying this evaluator's mutable inputs.
+
+        Two calls against equal task pools with equal tokens are
+        guaranteed to value every assignment identically, enabling
+        whole-packing memoization (:class:`~repro.core.full_reconfig.PackMemo`).
+        ``None`` (the default) disables that memoization — evaluators
+        must opt in after establishing the guarantee.
+        """
+        return None
+
     def is_cost_efficient(self, tasks: Sequence[Task], hourly_cost: float) -> bool:
         """§4.2/§4.3 criterion: set value must cover the instance's cost."""
         return self.set_value(tasks) >= hourly_cost - 1e-9
@@ -80,6 +101,8 @@ class AssignmentEvaluator(ABC):
 
 
 class _RPPackState(PackState):
+    delta_stable = True
+
     def __init__(self, evaluator: "RPEvaluator", tasks: Sequence[Task]):
         self._evaluator = evaluator
         self._value = sum(evaluator.task_rp(t) for t in tasks)
@@ -87,6 +110,9 @@ class _RPPackState(PackState):
     @property
     def value(self) -> float:
         return self._value
+
+    def delta(self, task: Task) -> float:
+        return self._evaluator.task_rp(task)
 
     def value_with(self, task: Task) -> float:
         return self._value + self._evaluator.task_rp(task)
@@ -110,10 +136,44 @@ class RPEvaluator(AssignmentEvaluator):
     def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
         return _RPPackState(self, tasks)
 
+    def group_key(self, task: Task) -> tuple:
+        return (task.workload, self.calculator.demand_signature(task))
+
+    def cache_token(self) -> tuple | None:
+        # RP depends only on immutable task demands and the catalog.
+        return ("rp",)
+
 
 # ----------------------------------------------------------------------
 # Throughput-normalized reservation price
 # ----------------------------------------------------------------------
+
+
+class TNRPCaches:
+    """Cross-round memo shared by successive TNRP evaluators.
+
+    A scheduler builds a fresh :class:`TNRPEvaluator` per round (the jobs
+    mapping changes), but the underlying quantities are stable for the
+    scheduler's lifetime: ``TNRP(τ, tput)`` depends only on the task's RP
+    and its job's RP, and ``set_value`` additionally on the throughput
+    table's current entries.  Passing one ``TNRPCaches`` to every
+    evaluator lets those results survive across rounds; the set-value
+    memo is dropped whenever the table records a changed value (its
+    ``version`` bumps), the TNRP memo never needs invalidation.
+    """
+
+    __slots__ = ("tnrp", "set_value", "table_version")
+
+    def __init__(self) -> None:
+        self.tnrp: dict[tuple[str, float], float] = {}
+        self.set_value: dict[tuple[str, ...], float] = {}
+        self.table_version = -1
+
+    def sync(self, table: CoLocationThroughputTable) -> None:
+        version = table.version
+        if version != self.table_version:
+            self.set_value.clear()
+            self.table_version = version
 
 
 class _TNRPPackState(PackState):
@@ -131,6 +191,10 @@ class _TNRPPackState(PackState):
         self._tputs: list[float] = []
         self._workloads: list[str] = []
         self._value = 0.0
+        # The table cannot change during this state's lifetime (updates
+        # only happen between rounds, via the monitor), so the fast-path
+        # predicate is fixed at construction.
+        self._fast = not evaluator.table.has_large_exact_entries()
         for task in tasks:
             self.add(task)
 
@@ -145,7 +209,7 @@ class _TNRPPackState(PackState):
         """Pairwise increments are exact iff the table has no exact-set
         entries for sets larger than a pair (pairs are the pairwise store
         itself)."""
-        return not self._ev.table.has_large_exact_entries()
+        return self._fast
 
     def value_with(self, task: Task) -> float:
         if not self._members:
@@ -155,19 +219,22 @@ class _TNRPPackState(PackState):
         total = 0.0
         w_new = task.workload
         tput_new = 1.0
+        tnrp = self._ev.tnrp_from_tput
+        pairwise = self._ev.table.pairwise
         for member, tput, w in zip(self._members, self._tputs, self._workloads):
-            total += self._member_tnrp(member, tput * self._ev.table.pairwise(w, w_new))
-            tput_new *= self._ev.table.pairwise(w_new, w)
-        total += self._member_tnrp(task, tput_new)
+            total += tnrp(member, tput * pairwise(w, w_new))
+            tput_new *= pairwise(w_new, w)
+        total += tnrp(task, tput_new)
         return total
 
     def add(self, task: Task) -> None:
         if self._fast_path() or not self._members:
             w_new = task.workload
             tput_new = 1.0
+            pairwise = self._ev.table.pairwise
             for idx, w in enumerate(self._workloads):
-                self._tputs[idx] *= self._ev.table.pairwise(w, w_new)
-                tput_new *= self._ev.table.pairwise(w_new, w)
+                self._tputs[idx] *= pairwise(w, w_new)
+                tput_new *= pairwise(w_new, w)
             self._members.append(task)
             self._workloads.append(w_new)
             self._tputs.append(tput_new)
@@ -180,8 +247,9 @@ class _TNRPPackState(PackState):
                 )
                 for i, t in enumerate(self._members)
             ]
+        tnrp = self._ev.tnrp_from_tput
         self._value = sum(
-            self._member_tnrp(m, tp) for m, tp in zip(self._members, self._tputs)
+            tnrp(m, tp) for m, tp in zip(self._members, self._tputs)
         )
 
 
@@ -212,6 +280,12 @@ class TNRPEvaluator(AssignmentEvaluator):
     table: CoLocationThroughputTable
     jobs: Mapping[str, Job] = field(default_factory=dict)
     multi_task_aware: bool = True
+    #: Cross-round memo, normally owned by the scheduler so it persists
+    #: between the per-round evaluator instances.
+    caches: TNRPCaches = field(default_factory=TNRPCaches, repr=False)
+    #: Memoized RP(j) (or None when §4.4 does not apply) per job id; jobs
+    #: and their RPs are fixed for this evaluator's lifetime (one round).
+    _job_rp_cache: dict[str, float | None] = field(default_factory=dict, repr=False)
 
     def task_rp(self, task: Task) -> float:
         return self.calculator.rp(task)
@@ -220,17 +294,29 @@ class TNRPEvaluator(AssignmentEvaluator):
         """RP(j) when the §4.4 extension applies to this task, else None."""
         if not self.multi_task_aware:
             return None
-        job = self.jobs.get(task.job_id)
-        if job is None or not job.is_multi_task:
-            return None
-        return self.calculator.rp_of_set(job.tasks)
+        job_id = task.job_id
+        if job_id in self._job_rp_cache:
+            return self._job_rp_cache[job_id]
+        job = self.jobs.get(job_id)
+        rp = (
+            self.calculator.rp_of_set(job.tasks)
+            if job is not None and job.is_multi_task
+            else None
+        )
+        self._job_rp_cache[job_id] = rp
+        return rp
 
     def tnrp_from_tput(self, task: Task, tput: float) -> float:
+        cache = self.caches.tnrp
+        key = (task.task_id, tput)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         rp = self.calculator.rp(task)
         job_rp = self._job_rp(task)
-        if job_rp is not None:
-            return rp - (1.0 - tput) * job_rp
-        return tput * rp
+        value = rp - (1.0 - tput) * job_rp if job_rp is not None else tput * rp
+        cache[key] = value
+        return value
 
     def task_tnrp(self, task: Task, neighbours: Sequence[str]) -> float:
         """TNRP of one task given the workloads co-located with it."""
@@ -239,11 +325,18 @@ class TNRPEvaluator(AssignmentEvaluator):
     def set_value(self, tasks: Sequence[Task]) -> float:
         if not tasks:
             return 0.0
+        caches = self.caches
+        caches.sync(self.table)
+        key = tuple(t.task_id for t in tasks)
+        cached = caches.set_value.get(key)
+        if cached is not None:
+            return cached
         workloads = [t.workload for t in tasks]
         total = 0.0
         for idx, task in enumerate(tasks):
             neighbours = workloads[:idx] + workloads[idx + 1 :]
             total += self.task_tnrp(task, neighbours)
+        caches.set_value[key] = total
         return total
 
     def make_state(self, tasks: Sequence[Task] = ()) -> PackState:
@@ -253,4 +346,11 @@ class TNRPEvaluator(AssignmentEvaluator):
         """Group also by job arity: RP(j) differs across arities (§4.4)."""
         job = self.jobs.get(task.job_id) if self.multi_task_aware else None
         arity = job.num_tasks if job is not None else 1
-        return (task.workload, _demand_signature(task), arity)
+        return (task.workload, self.calculator.demand_signature(task), arity)
+
+    def cache_token(self) -> tuple | None:
+        # TNRP additionally depends on the (mutable) throughput table;
+        # its version counter epochs every value-changing update.  Job
+        # RPs/arities are covered by the task ids in the pool
+        # fingerprint (jobs are immutable).
+        return ("tnrp", self.multi_task_aware, self.table.version)

@@ -28,6 +28,7 @@ measured in the Table 5 bench).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -61,50 +62,185 @@ class PackedInstance:
 class _TaskPool:
     """Unassigned tasks, bucketed into interchangeable groups.
 
-    Groups are ordered deterministically; tasks inside a group are stacks
-    sorted by task id, so runs are reproducible.
+    Groups are ordered deterministically (ascending group key, maintained
+    incrementally with bisect instead of re-sorting on every mutation);
+    tasks inside a group are stacks sorted by task id, so runs are
+    reproducible.  ``pop`` resolves the bucket by the task's group key in
+    O(1) instead of scanning every bucket.
     """
 
     def __init__(self, tasks: Iterable[Task], evaluator: AssignmentEvaluator,
                  group_identical: bool):
         self._evaluator = evaluator
+        self._group_identical = group_identical
+        self._key_by_id: dict[str, tuple] = {}
         buckets: dict[tuple, list[Task]] = {}
+        size = 0
         for task in sorted(tasks, key=lambda t: t.task_id, reverse=True):
+            buckets.setdefault(self._key(task), []).append(task)
+            size += 1
+        self._buckets = buckets
+        self._ordered_keys = sorted(buckets)
+        self._size = size
+
+    def _key(self, task: Task) -> tuple:
+        key = self._key_by_id.get(task.task_id)
+        if key is None:
             key = (
-                evaluator.group_key(task)
-                if group_identical
+                self._evaluator.group_key(task)
+                if self._group_identical
                 else (task.task_id,)
             )
-            buckets.setdefault(key, []).append(task)
-        self._buckets = dict(sorted(buckets.items(), key=lambda kv: kv[0]))
+            self._key_by_id[task.task_id] = key
+        return key
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self._buckets.values())
+        return self._size
 
     def is_empty(self) -> bool:
-        return not self._buckets
+        return self._size == 0
 
     def representatives(self) -> list[Task]:
         """One candidate task per non-empty group."""
-        return [bucket[-1] for bucket in self._buckets.values()]
+        buckets = self._buckets
+        return [buckets[key][-1] for key in self._ordered_keys]
 
     def pop(self, task: Task) -> Task:
-        key = next(k for k, b in self._buckets.items() if b and b[-1] is task)
-        bucket = self._buckets[key]
+        key = self._key(task)
+        bucket = self._buckets.get(key)
+        if bucket is None or bucket[-1] is not task:
+            raise KeyError(
+                f"task {task.task_id} is not a current representative"
+            )
         popped = bucket.pop()
+        self._size -= 1
         if not bucket:
             del self._buckets[key]
+            del self._ordered_keys[bisect_left(self._ordered_keys, key)]
         return popped
 
-    def push_back(self, tasks: Sequence[Task], group_identical: bool) -> None:
+    def push_back(self, tasks: Sequence[Task]) -> None:
         for task in tasks:
-            key = (
-                self._evaluator.group_key(task)
-                if group_identical
-                else (task.task_id,)
-            )
-            self._buckets.setdefault(key, []).append(task)
-        self._buckets = dict(sorted(self._buckets.items(), key=lambda kv: kv[0]))
+            key = self._key(task)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [task]
+                insort(self._ordered_keys, key)
+            else:
+                bucket.append(task)
+            self._size += 1
+
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of the pool's full decision-relevant state.
+
+        Captures group order AND per-bucket task-id stack order — the
+        greedy argmax tie-breaks on task id, so two pools pack
+        identically iff their fingerprints match (given the same
+        evaluator state).
+        """
+        buckets = self._buckets
+        return tuple(
+            (key, tuple(t.task_id for t in buckets[key]))
+            for key in self._ordered_keys
+        )
+
+    def drain(self) -> list[Task]:
+        """Remove and return every task, in pop order (ascending group
+        key, LIFO within each bucket) — what repeated
+        ``pop(representatives()[0])`` would produce, without the per-pop
+        representative rebuild."""
+        drained: list[Task] = []
+        for key in self._ordered_keys:
+            drained.extend(reversed(self._buckets[key]))
+        self._buckets = {}
+        self._ordered_keys = []
+        self._size = 0
+        return drained
+
+
+class _ArgmaxScan:
+    """Memoized inner argmax of Algorithm 1 (line 8) for one instance.
+
+    Reused across the iterations of one greedy packing: single-task
+    reservation prices and family demands are cached per representative,
+    and for delta-stable evaluators (plain RP) each group's ``value_with``
+    increment is computed once and reused for the rest of the scan
+    instead of re-evaluated against the grown set every iteration.
+    Remaining capacity is tracked as three scalars with the same clamped
+    arithmetic as ``ResourceVector.__sub__``/``fits_within`` (identical
+    feasibility decisions, no per-check vector allocation).  Ranking is
+    unchanged: ``(value, RP(τ), task_id)``, descending.
+    """
+
+    def __init__(
+        self, pool: _TaskPool, evaluator: AssignmentEvaluator, capacity, family: str
+    ):
+        self._pool = pool
+        self._evaluator = evaluator
+        self._family = family
+        self._rp: dict[str, float] = {}
+        self._delta: dict[str, float] = {}
+        self._demand: dict[str, tuple[float, float, float]] = {}
+        self._gpus = capacity.gpus
+        self._cpus = capacity.cpus
+        self._ram = capacity.ram_gb
+
+    def charge(self, task: Task) -> None:
+        """Deduct ``task``'s demand from the tracked remaining capacity."""
+        gpus, cpus, ram = self._demand_of(task)
+        # Clamped like ResourceVector.__sub__ so feasibility decisions
+        # match the vector arithmetic bit for bit.
+        self._gpus = max(0.0, self._gpus - gpus)
+        self._cpus = max(0.0, self._cpus - cpus)
+        self._ram = max(0.0, self._ram - ram)
+
+    def _demand_of(self, task: Task) -> tuple[float, float, float]:
+        demand = self._demand.get(task.task_id)
+        if demand is None:
+            vec = task.demand_for(self._family)
+            demand = (vec.gpus, vec.cpus, vec.ram_gb)
+            self._demand[task.task_id] = demand
+        return demand
+
+    def best(self, state) -> tuple[Task | None, float]:
+        """The feasible candidate maximizing ``value_with``, and its value."""
+        evaluator = self._evaluator
+        rp_cache = self._rp
+        delta_stable = state.delta_stable
+        deltas = self._delta
+        base = state.value
+        max_gpus = self._gpus + _EPS
+        max_cpus = self._cpus + _EPS
+        max_ram = self._ram + _EPS
+        best_task: Task | None = None
+        best_rank: tuple[float, float, str] | None = None
+        pool = self._pool
+        buckets = pool._buckets
+        for key in pool._ordered_keys:
+            candidate = buckets[key][-1]
+            gpus, cpus, ram = self._demand_of(candidate)
+            if gpus > max_gpus or cpus > max_cpus or ram > max_ram:
+                continue
+            task_id = candidate.task_id
+            if delta_stable:
+                delta = deltas.get(task_id)
+                if delta is None:
+                    delta = state.delta(candidate)
+                    deltas[task_id] = delta
+                value = base + delta
+            else:
+                value = state.value_with(candidate)
+            rp = rp_cache.get(task_id)
+            if rp is None:
+                rp = evaluator.task_rp(candidate)
+                rp_cache[task_id] = rp
+            rank = (value, rp, task_id)
+            if best_rank is None or rank > best_rank:
+                best_task, best_rank = candidate, rank
+        if best_task is None:
+            return None, -float("inf")
+        assert best_rank is not None
+        return best_task, best_rank[0]
 
 
 def _pack_one_instance(
@@ -115,22 +251,9 @@ def _pack_one_instance(
     """Greedy inner loop of Algorithm 1 (lines 6–13) for one instance."""
     chosen: list[Task] = []
     state = evaluator.make_state()
-    remaining = itype.capacity
-    family = itype.family
+    scan = _ArgmaxScan(pool, evaluator, itype.capacity, itype.family)
     while True:
-        best_task: Task | None = None
-        best_value = -float("inf")
-        for candidate in pool.representatives():
-            if not candidate.demand_for(family).fits_within(remaining):
-                continue
-            value = state.value_with(candidate)
-            rank = (value, evaluator.task_rp(candidate), candidate.task_id)
-            if best_task is None or rank > (
-                best_value,
-                evaluator.task_rp(best_task),
-                best_task.task_id,
-            ):
-                best_task, best_value = candidate, value
+        best_task, best_value = scan.best(state)
         if best_task is None:
             break  # nothing fits (line 7 exit)
         if best_value < state.value - _EPS:
@@ -138,8 +261,38 @@ def _pack_one_instance(
         pool.pop(best_task)
         state.add(best_task)
         chosen.append(best_task)
-        remaining = remaining - best_task.demand_for(family)
+        scan.charge(best_task)
     return chosen, state.value
+
+
+class PackMemo:
+    """Memoized Algorithm 1 outcomes across scheduling rounds.
+
+    In steady state (no arrivals, completions, or throughput-table
+    changes between rounds) Full Reconfiguration re-derives the *same*
+    packing every period from bit-identical inputs.  The memo keys on the
+    pool fingerprint plus the evaluator's :meth:`cache_token` and returns
+    the abstract packing (instance type + task tuple per instance); the
+    caller re-mints instance ids with :func:`fresh_instance` in packing
+    order, so the global id counter advances exactly as a real run and
+    results stay byte-identical.  Entries are dropped wholesale when the
+    memo exceeds its cap (steady-state reuse is between consecutive
+    rounds, so a small cap suffices).
+    """
+
+    __slots__ = ("_entries", "max_entries")
+
+    def __init__(self, max_entries: int = 64):
+        self._entries: dict[tuple, tuple] = {}
+        self.max_entries = max_entries
+
+    def get(self, key: tuple) -> tuple | None:
+        return self._entries.get(key)
+
+    def put(self, key: tuple, value: tuple) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = value
 
 
 def full_reconfiguration(
@@ -148,6 +301,7 @@ def full_reconfiguration(
     evaluator: AssignmentEvaluator,
     group_identical: bool = True,
     cost_margin: float = 0.0,
+    memo: PackMemo | None = None,
 ) -> list[PackedInstance]:
     """Run Algorithm 1 over ``tasks`` and return the packed configuration.
 
@@ -160,10 +314,33 @@ def full_reconfiguration(
     the margin (value ≥ cost · (1 + margin)), trading some packing — and
     its throughput loss — for shorter JCTs.  Standalone placements are
     exempt so every task remains placeable at its reservation-price type.
+
+    ``memo`` optionally reuses identical packings across calls (see
+    :class:`PackMemo`); it only engages when the evaluator reports a
+    valid :meth:`~AssignmentEvaluator.cache_token`.
     """
     if cost_margin < 0:
         raise ValueError("cost_margin must be >= 0")
     pool = _TaskPool(tasks, evaluator, group_identical)
+    memo_key: tuple | None = None
+    if memo is not None:
+        token = evaluator.cache_token()
+        if token is not None:
+            memo_key = (
+                token,
+                cost_margin,
+                group_identical,
+                tuple(it.name for it in instance_types),
+                pool.fingerprint(),
+            )
+            cached = memo.get(memo_key)
+            if cached is not None:
+                return [
+                    PackedInstance(
+                        instance=fresh_instance(itype), tasks=packed_tasks
+                    )
+                    for itype, packed_tasks in cached
+                ]
     types_desc = sorted(
         (it for it in instance_types if not it.is_ghost),
         key=lambda it: (-it.hourly_cost, it.name),
@@ -195,11 +372,11 @@ def full_reconfiguration(
                         instance=fresh_instance(itype), tasks=(chosen[0],)
                     )
                 )
-                pool.push_back(chosen[1:], group_identical)
+                pool.push_back(chosen[1:])
             else:
                 # Line 17: not cost-efficient on this type; put the tasks
                 # back and move to the next cheaper type.
-                pool.push_back(chosen, group_identical)
+                pool.push_back(chosen)
                 break
         if pool.is_empty():
             break
@@ -208,6 +385,10 @@ def full_reconfiguration(
         raise RuntimeError(
             f"{len(pool)} task(s) could not be packed (e.g. {leftover[:3]}); "
             "is some task infeasible on every instance type?"
+        )
+    if memo_key is not None:
+        memo.put(
+            memo_key, tuple((p.instance_type, p.tasks) for p in packed)
         )
     return packed
 

@@ -226,7 +226,7 @@ def heterogeneous_full_reconfiguration(
                     PackedInstance(instance=fresh_instance(itype), tasks=tuple(chosen))
                 )
             else:
-                pool.push_back(chosen, group_identical)
+                pool.push_back(chosen)
                 break
         if pool.is_empty():
             break

@@ -26,6 +26,8 @@ from repro.cluster.task import Task
 from repro.core.evaluation import AssignmentEvaluator
 from repro.core.full_reconfig import (
     PackedInstance,
+    PackMemo,
+    _ArgmaxScan,
     _TaskPool,
     full_reconfiguration,
     match_existing_instances,
@@ -58,32 +60,19 @@ def _fill_survivor(
 ) -> PackedInstance:
     """Offer subset tasks to a surviving instance's spare capacity."""
     itype = survivor.instance_type
-    family = itype.family
     tasks = list(survivor.tasks)
     state = evaluator.make_state(tasks)
-    remaining = itype.capacity
+    scan = _ArgmaxScan(pool, evaluator, itype.capacity, itype.family)
     for t in tasks:
-        remaining = remaining - t.demand_for(family)
+        scan.charge(t)
     while True:
-        best_task: Task | None = None
-        best_value = -float("inf")
-        for candidate in pool.representatives():
-            if not candidate.demand_for(family).fits_within(remaining):
-                continue
-            value = state.value_with(candidate)
-            rank = (value, evaluator.task_rp(candidate), candidate.task_id)
-            if best_task is None or rank > (
-                best_value,
-                evaluator.task_rp(best_task),
-                best_task.task_id,
-            ):
-                best_task, best_value = candidate, value
+        best_task, best_value = scan.best(state)
         if best_task is None or best_value < state.value - _EPS:
             break
         pool.pop(best_task)
         state.add(best_task)
         tasks.append(best_task)
-        remaining = remaining - best_task.demand_for(family)
+        scan.charge(best_task)
     if len(tasks) == len(survivor.tasks):
         return survivor
     return PackedInstance(instance=survivor.instance, tasks=tuple(tasks))
@@ -96,6 +85,7 @@ def partial_reconfiguration(
     evaluator: AssignmentEvaluator,
     group_identical: bool = True,
     cost_margin: float = 0.0,
+    memo: PackMemo | None = None,
 ) -> PartialReconfigResult:
     """Compute the Partial Reconfiguration target (§4.5).
 
@@ -108,6 +98,8 @@ def partial_reconfiguration(
         cost_margin: JCT-aware packing margin, applied to new packings
             only (the keep-or-drain test for existing instances uses the
             plain cost so the margin does not force churn).
+        memo: Optional :class:`PackMemo` forwarded to the stage-2
+            Algorithm 1 call.
     """
     survivors: list[PackedInstance] = []
     subset: list[Task] = list(unassigned)
@@ -143,16 +135,14 @@ def partial_reconfiguration(
 
     # Stage 2 — pack the remainder with Algorithm 1 and reuse drained
     # instances of matching types where possible.
-    leftovers = []
-    while not pool.is_empty():
-        rep = pool.representatives()[0]
-        leftovers.append(pool.pop(rep))
+    leftovers = pool.drain()
     fresh = full_reconfiguration(
         leftovers,
         instance_types,
         evaluator,
         group_identical=group_identical,
         cost_margin=cost_margin,
+        memo=memo,
     )
     fresh = match_existing_instances(fresh, drained)
 

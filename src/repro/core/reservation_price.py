@@ -47,6 +47,15 @@ class ReservationPriceCalculator:
     _cache: dict[tuple, tuple[InstanceType, float]] = field(
         default_factory=dict, repr=False
     )
+    #: Per-task-id memo in front of the signature cache: computing the
+    #: demand signature itself (a sorted tuple over the demand map) is the
+    #: hot part of repeated ``rp()`` calls in Algorithm 1's inner argmax.
+    #: Task ids are immutable and unique within a scheduler's lifetime, so
+    #: the id fully determines the signature.
+    _by_task_id: dict[str, tuple[InstanceType, float]] = field(
+        default_factory=dict, repr=False
+    )
+    _sig_by_task_id: dict[str, tuple] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         real_types = [it for it in self.catalog if not it.is_ghost]
@@ -62,6 +71,14 @@ class ReservationPriceCalculator:
     def rp_type(self, task: Task) -> InstanceType:
         """The reservation-price instance type: cheapest feasible for ``task``."""
         return self._lookup(task)[0]
+
+    def demand_signature(self, task: Task) -> tuple:
+        """Memoized :func:`_demand_signature` (hot in grouping/argmax paths)."""
+        sig = self._sig_by_task_id.get(task.task_id)
+        if sig is None:
+            sig = _demand_signature(task)
+            self._sig_by_task_id[task.task_id] = sig
+        return sig
 
     def rp(self, task: Task) -> float:
         """The reservation price of ``task`` in $/hr."""
@@ -83,14 +100,19 @@ class ReservationPriceCalculator:
         return total >= instance_type.hourly_cost - 1e-9
 
     def _lookup(self, task: Task) -> tuple[InstanceType, float]:
+        hit = self._by_task_id.get(task.task_id)
+        if hit is not None:
+            return hit
         key = _demand_signature(task)
         hit = self._cache.get(key)
         if hit is not None:
+            self._by_task_id[task.task_id] = hit
             return hit
         for itype in self._by_cost_asc:  # type: ignore[attr-defined]
             if task.demand_for(itype.family).fits_within(itype.capacity):
                 result = (itype, itype.hourly_cost)
                 self._cache[key] = result
+                self._by_task_id[task.task_id] = result
                 return result
         raise InfeasibleTaskError(
             f"task {task.task_id} ({task.workload}) fits no instance type; "

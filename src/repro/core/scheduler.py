@@ -32,10 +32,12 @@ from repro.core.ensemble import EnsemblePolicy, ReconfigDecision
 from repro.core.evaluation import (
     AssignmentEvaluator,
     RPEvaluator,
+    TNRPCaches,
     TNRPEvaluator,
 )
 from repro.core.full_reconfig import (
     PackedInstance,
+    PackMemo,
     full_reconfiguration,
     match_existing_instances,
 )
@@ -103,6 +105,8 @@ class EvaScheduler(Scheduler):
             table=CoLocationThroughputTable(default_tput=self.config.default_tput)
         )
         self.policy = EnsemblePolicy(delay_model=self.delay_model)
+        self._tnrp_caches = TNRPCaches()
+        self._pack_memo = PackMemo()
         self.name = name or self._default_name()
         self._known_job_ids: set[str] = set()
         self.last_decision: ReconfigDecision | None = None
@@ -132,6 +136,7 @@ class EvaScheduler(Scheduler):
             table=self.monitor.table,
             jobs=snapshot.jobs,
             multi_task_aware=self.config.multi_task_aware,
+            caches=self._tnrp_caches,
         )
 
     def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
@@ -172,6 +177,7 @@ class EvaScheduler(Scheduler):
             evaluator,
             group_identical=self.config.group_identical,
             cost_margin=self.config.efficiency_margin,
+            memo=self._pack_memo,
         )
         packed = match_existing_instances(
             packed,
@@ -195,6 +201,7 @@ class EvaScheduler(Scheduler):
             evaluator,
             group_identical=self.config.group_identical,
             cost_margin=self.config.efficiency_margin,
+            memo=self._pack_memo,
         )
         return _to_target(result.configuration)
 

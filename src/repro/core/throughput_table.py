@@ -66,6 +66,17 @@ class CoLocationThroughputTable:
         default_factory=dict, repr=False
     )
     _num_large_exact: int = field(default=0, repr=False)
+    #: Memoized ``tput`` results keyed by the *given-order* neighbour
+    #: tuple (so repeated lookups skip the sort and the pairwise product
+    #: without changing per-ordering float behaviour); cleared whenever a
+    #: recorded entry actually changes value.
+    _tput_cache: dict[tuple[str, tuple[str, ...]], float] = field(
+        default_factory=dict, repr=False
+    )
+    #: Bumped whenever a recorded entry actually changes value; lets
+    #: downstream caches (e.g. the TNRP evaluator's set-value memo)
+    #: invalidate without subscribing to individual updates.
+    _version: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.default_tput <= 1.0:
@@ -89,12 +100,18 @@ class CoLocationThroughputTable:
         """
         if not neighbours:
             return 1.0
+        key = (workload, tuple(neighbours))
+        cached = self._tput_cache.get(key)
+        if cached is not None:
+            return cached
         exact = self._exact.get((workload, _set_key(neighbours)))
         if exact is not None:
-            return exact
-        estimate = 1.0
-        for other in neighbours:
-            estimate *= self.pairwise(workload, other)
+            estimate = exact
+        else:
+            estimate = 1.0
+            for other in neighbours:
+                estimate *= self.pairwise(workload, other)
+        self._tput_cache[key] = estimate
         return estimate
 
     def is_recorded(self, observation: TaskPlacementObservation) -> bool:
@@ -109,8 +126,14 @@ class CoLocationThroughputTable:
     # ------------------------------------------------------------------
     def _record(self, observation: TaskPlacementObservation, tput: float) -> None:
         tput = min(1.0, max(0.0, tput))
-        if observation.num_neighbours > 1 and observation.key not in self._exact:
+        previous = self._exact.get(observation.key)
+        if observation.num_neighbours > 1 and previous is None:
             self._num_large_exact += 1
+        if previous != tput:
+            # Pairwise entries mirror the pair exacts, so any value change
+            # here can shift arbitrary product estimates: drop the memo.
+            self._tput_cache.clear()
+            self._version += 1
         self._exact[observation.key] = tput
         if observation.num_neighbours == 1:
             self._pairwise[(observation.workload, observation.neighbours[0])] = tput
@@ -189,6 +212,11 @@ class CoLocationThroughputTable:
         increments remain exact as long as this is False.
         """
         return self._num_large_exact > 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of value-changing updates (cache epoch)."""
+        return self._version
 
     def num_pairwise_entries(self) -> int:
         return len(self._pairwise)

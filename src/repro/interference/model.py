@@ -55,7 +55,16 @@ class InterferenceModel:
 
     def task_throughput(self, workload: str, co_located: Iterable[str]) -> float:
         """Throughput of one task given the workloads sharing its instance."""
-        neighbours = tuple(sorted(co_located))
+        return self.task_throughput_sorted(workload, tuple(sorted(co_located)))
+
+    def task_throughput_sorted(
+        self, workload: str, neighbours: tuple[str, ...]
+    ) -> float:
+        """Memoized lookup for an already-sorted neighbour multiset.
+
+        Hot-path variant for callers (the simulator) that maintain sorted
+        neighbour multisets incrementally and can skip the re-sort.
+        """
         key = (workload, neighbours)
         cached = self._cache.get(key)
         if cached is not None:

@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.cloud.delays import DelayModel
 from repro.cloud.provider import SimulatedCloud
-from repro.cluster.resources import RESOURCE_NAMES
 from repro.cluster.state import (
     ClusterSnapshot,
     InstanceState,
@@ -35,6 +34,7 @@ from repro.cluster.task import Job, Task
 from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.throughput_table import TaskPlacementObservation
 from repro.interference.model import InterferenceModel
+from repro.sim.accounting import ClusterAccounting
 from repro.sim.engine import Event, EventKind, EventQueue
 from repro.sim.metrics import AllocationIntegrator, JobOutcome, SimulationResult
 from repro.workloads.trace import Trace
@@ -92,6 +92,9 @@ class _JobRT:
     finish_version: int = 0
     finished: bool = False
     finish_s: float = 0.0
+    #: Immutable task_id → Task map, built once at arrival and reused by
+    #: every snapshot instead of re-walking ``job.tasks``.
+    task_map: dict[str, Task] = field(default_factory=dict)
 
     def advance(self, now_s: float) -> None:
         """Integrate progress (and idle time) up to ``now_s``."""
@@ -115,6 +118,11 @@ class _InstanceRT:
     ready_time_s: float
     assigned: set[str] = field(default_factory=set)
     alive: bool = True
+    #: Sorted workloads of the RUNNING tasks on this instance; None when a
+    #: membership/status change invalidated it (recomputed lazily).
+    running_cache: tuple[str, ...] | None = None
+    #: Frozen copy of ``assigned`` for snapshots; None when stale.
+    frozen_cache: frozenset[str] | None = None
 
     @property
     def instance(self):
@@ -123,6 +131,10 @@ class _InstanceRT:
     @property
     def instance_id(self) -> str:
         return self.instance.instance_id
+
+    def invalidate(self) -> None:
+        self.running_cache = None
+        self.frozen_cache = None
 
 
 class SimulationError(RuntimeError):
@@ -179,21 +191,30 @@ class ClusterSimulator:
         self._tasks: dict[str, _TaskRT] = {}
         self._instances: dict[str, _InstanceRT] = {}
         self._terminate_holds: dict[str, float] = {}
-        self._round_pending = False
+        #: Timestamp of the queued scheduling round, or None when no round
+        #: is armed.  Tracking the timestamp (not a bool) dedupes redundant
+        #: round events: an arm request whose boundary is already covered
+        #: by the queued round is a no-op, and a round event superseded by
+        #: an earlier re-arm is recognized as stale in ``_on_round``.
+        self._armed_round_s: float | None = None
         self._finished_jobs = 0
         self._outcomes: list[JobOutcome] = []
         self._migrations = 0
         self._placements = 0
         self._rounds = 0
+        self.events_dispatched = 0
         self._alloc = AllocationIntegrator()
+        self._acct = ClusterAccounting()
         self._accounting_time_s = 0.0
 
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        for job in self.trace:
-            self.queue.push(Event(job.arrival_time_s, EventKind.JOB_ARRIVAL, job))
+        self.queue.push_all(
+            Event(job.arrival_time_s, EventKind.JOB_ARRIVAL, job)
+            for job in self.trace
+        )
         total_jobs = len(self.trace)
 
         while self.queue:
@@ -236,6 +257,7 @@ class ClusterSimulator:
     # Event dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, event: Event) -> None:
+        self.events_dispatched += 1
         if event.kind == EventKind.JOB_ARRIVAL:
             self._on_arrival(event.payload)
         elif event.kind == EventKind.TASK_READY:
@@ -257,23 +279,29 @@ class ClusterSimulator:
     # Arrivals
     # ------------------------------------------------------------------
     def _on_arrival(self, job: Job) -> None:
-        rt = _JobRT(job=job, arrival_s=self.now_s, last_update_s=self.now_s)
+        rt = _JobRT(
+            job=job,
+            arrival_s=self.now_s,
+            last_update_s=self.now_s,
+            task_map={t.task_id: t for t in job.tasks},
+        )
         self._jobs[job.job_id] = rt
         for task in job.tasks:
             self._tasks[task.task_id] = _TaskRT(task=task)
         self._ensure_round_scheduled()
 
     def _ensure_round_scheduled(self) -> None:
-        if self._round_pending:
-            return
         periods_done = int(self.now_s // self.period_s)
         next_round = periods_done * self.period_s
         if next_round < self.now_s:
             next_round = (periods_done + 1) * self.period_s
         # An arrival exactly on a period boundary is handled by the round
         # at that same timestamp (rounds sort after arrivals).
+        armed = self._armed_round_s
+        if armed is not None and armed <= next_round:
+            return  # a round at or before that boundary is already queued
         self.queue.push(Event(next_round, EventKind.SCHEDULING_ROUND))
-        self._round_pending = True
+        self._armed_round_s = next_round
 
     # ------------------------------------------------------------------
     # Scheduling rounds
@@ -282,7 +310,9 @@ class ClusterSimulator:
         return [jid for jid, rt in self._jobs.items() if not rt.finished]
 
     def _on_round(self) -> None:
-        self._round_pending = False
+        if self._armed_round_s is None or self.now_s != self._armed_round_s:
+            return  # stale round event, superseded by an earlier re-arm
+        self._armed_round_s = None
         live = self._live_job_ids()
         if not live:
             return  # next arrival re-arms the round cadence
@@ -297,26 +327,26 @@ class ClusterSimulator:
         self._apply(snapshot, target)
         self._refresh_rates(live)
 
-        self.queue.push(
-            Event(self.now_s + self.period_s, EventKind.SCHEDULING_ROUND)
-        )
-        self._round_pending = True
+        next_round = self.now_s + self.period_s
+        self.queue.push(Event(next_round, EventKind.SCHEDULING_ROUND))
+        self._armed_round_s = next_round
 
     def _snapshot(self, live: Sequence[str]) -> ClusterSnapshot:
         tasks: dict[str, Task] = {}
         jobs: dict[str, Job] = {}
         for jid in live:
-            job = self._jobs[jid].job
-            jobs[jid] = job
-            for task in job.tasks:
-                tasks[task.task_id] = task
-        instances = [
-            InstanceState(
-                instance=rt.instance, task_ids=frozenset(rt.assigned)
-            )
-            for rt in self._instances.values()
-            if rt.alive
-        ]
+            rt = self._jobs[jid]
+            jobs[jid] = rt.job
+            tasks.update(rt.task_map)
+        instances = []
+        for irt in self._instances.values():
+            if not irt.alive:
+                continue
+            frozen = irt.frozen_cache
+            if frozen is None:
+                frozen = frozenset(irt.assigned)
+                irt.frozen_cache = frozen
+            instances.append(InstanceState(instance=irt.instance, task_ids=frozen))
         instances.sort(key=lambda s: s.instance_id)
         return ClusterSnapshot(
             time_s=self.now_s, tasks=tasks, jobs=jobs, instances=instances
@@ -365,6 +395,7 @@ class ClusterSimulator:
                 instance_state_instance=ti.instance,
                 ready_time_s=receipt.ready_time_s,
             )
+            self._acct.instance_up(ti.instance.instance_type)
             if self.spot.enabled:
                 lifetime_s = float(
                     self._spot_rng.exponential(
@@ -387,6 +418,9 @@ class ClusterSimulator:
             if src is not None:
                 src_rt = self._instances[src]
                 src_rt.assigned.discard(task_id)
+                src_rt.invalidate()
+                if src_rt.alive:
+                    self._acct.task_unassigned(task, src_rt.instance.instance_type)
                 checkpoint = self.delay_model.checkpoint_s(
                     task.migration.checkpoint_s
                 )
@@ -399,6 +433,8 @@ class ClusterSimulator:
                 self._placements += 1
             dst_rt = self._instances[dst]
             dst_rt.assigned.add(task_id)
+            dst_rt.invalidate()
+            self._acct.task_assigned(task, dst_rt.instance.instance_type)
             task_rt.instance_id = dst
             task_rt.status = TaskStatus.PENDING
             task_rt.resume_version += 1
@@ -424,6 +460,7 @@ class ClusterSimulator:
                     f"terminating instance {iid} with assigned tasks {rt.assigned}"
                 )
             rt.alive = False
+            self._acct.instance_down(rt.instance.instance_type)
             when = hold_until.get(iid, self.now_s)
             if when <= self.now_s:
                 self.cloud.terminate(iid, self.now_s)
@@ -446,6 +483,9 @@ class ClusterSimulator:
         affected.add(task_rt.task.job_id)
         self._advance_all(affected)
         task_rt.status = TaskStatus.RUNNING
+        inst = self._instances.get(task_rt.instance_id)
+        if inst is not None:
+            inst.running_cache = None
         self._refresh_rates(affected)
 
     def _on_job_finish(self, job_id: str, version: int) -> None:
@@ -475,8 +515,12 @@ class ClusterSimulator:
             if iid is not None and iid in self._instances:
                 inst = self._instances[iid]
                 inst.assigned.discard(task.task_id)
+                inst.invalidate()
+                if inst.alive:
+                    self._acct.task_unassigned(task, inst.instance.instance_type)
                 if not inst.assigned and inst.alive:
                     inst.alive = False
+                    self._acct.instance_down(inst.instance.instance_type)
                     self.cloud.terminate(iid, self.now_s)
                     del self._instances[iid]
             del self._tasks[task.task_id]
@@ -510,11 +554,14 @@ class ClusterSimulator:
             task_rt = self._tasks.get(task_id)
             if task_rt is None:
                 continue
+            self._acct.task_unassigned(task_rt.task, rt.instance.instance_type)
             task_rt.status = TaskStatus.QUEUED
             task_rt.instance_id = None
             task_rt.resume_version += 1
         rt.assigned.clear()
+        rt.invalidate()
         rt.alive = False
+        self._acct.instance_down(rt.instance.instance_type)
         self.cloud.terminate(instance_id, self.now_s)
         del self._instances[instance_id]
         self._preemptions += 1
@@ -538,6 +585,8 @@ class ClusterSimulator:
                 self._on_instance_terminate(event.payload)
         for iid, rt in sorted(self._instances.items()):
             if rt.alive:
+                rt.alive = False
+                self._acct.instance_down(rt.instance.instance_type)
                 self.cloud.terminate(iid, self.now_s)
         self._instances.clear()
 
@@ -549,12 +598,23 @@ class ClusterSimulator:
         if iid is None or iid not in self._instances:
             return []
         inst = self._instances[iid]
-        return sorted(
-            self._tasks[tid].task.workload
-            for tid in inst.assigned
-            if tid != task_rt.task.task_id
-            and self._tasks[tid].status is TaskStatus.RUNNING
-        )
+        cache = inst.running_cache
+        if cache is None:
+            tasks = self._tasks
+            cache = tuple(
+                sorted(
+                    tasks[tid].task.workload
+                    for tid in inst.assigned
+                    if tasks[tid].status is TaskStatus.RUNNING
+                )
+            )
+            inst.running_cache = cache
+        neighbours = list(cache)
+        if task_rt.status is TaskStatus.RUNNING:
+            # Removing the first occurrence of the task's own workload from
+            # the sorted multiset equals sorting the neighbour multiset.
+            neighbours.remove(task_rt.task.workload)
+        return neighbours
 
     def _job_rate(self, job_rt: _JobRT) -> float:
         rate = 1.0
@@ -562,8 +622,8 @@ class ClusterSimulator:
             task_rt = self._tasks[task.task_id]
             if task_rt.status is not TaskStatus.RUNNING:
                 return 0.0
-            tput = self.interference.task_throughput(
-                task.workload, self._running_neighbours(task_rt)
+            tput = self.interference.task_throughput_sorted(
+                task.workload, tuple(self._running_neighbours(task_rt))
             )
             rate = min(rate, tput)
         return rate
@@ -610,24 +670,11 @@ class ClusterSimulator:
         dt = time_s - self._accounting_time_s
         if dt <= 0:
             return
-        allocated = {r: 0.0 for r in RESOURCE_NAMES}
-        capacity = {r: 0.0 for r in RESOURCE_NAMES}
-        num_tasks = 0
-        num_instances = 0
-        for rt in self._instances.values():
-            if not rt.alive:
-                continue
-            num_instances += 1
-            itype = rt.instance.instance_type
-            for r in RESOURCE_NAMES:
-                capacity[r] += itype.capacity.get(r)
-            for tid in rt.assigned:
-                task = self._tasks[tid].task
-                demand = task.demand_for(itype.family)
-                for r in RESOURCE_NAMES:
-                    allocated[r] += demand.get(r)
-                num_tasks += 1
-        self._alloc.accumulate(dt, allocated, capacity, num_tasks, num_instances)
+        if self.validate:
+            # Cross-check the O(delta) totals against the naive re-scan on
+            # every accounting step (tests run with validate=True).
+            self._acct.verify(self._instances, self._tasks)
+        self._alloc.accumulate_totals(dt, self._acct)
         self._accounting_time_s = time_s
 
 

@@ -224,3 +224,106 @@ class TestMatchExisting:
         assert summary["instances"] == 2
         assert summary["tasks"] == 4
         assert summary["hourly_cost"] == pytest.approx(12.8)
+
+
+class TestTaskPool:
+    """Ordering contract of the packer's grouped task pool."""
+
+    @staticmethod
+    def _make_tasks(example_catalog):
+        # Two interchangeable groups: three 'a' tasks and two 'b' tasks.
+        tasks = []
+        for i in range(3):
+            job = make_job(
+                "a", {"*": ResourceVector(0, 4, 12)}, 1.0, job_id=f"a{i}"
+            )
+            tasks.extend(job.tasks)
+        for i in range(2):
+            job = make_job(
+                "b", {"*": ResourceVector(0, 6, 20)}, 1.0, job_id=f"b{i}"
+            )
+            tasks.extend(job.tasks)
+        return tasks
+
+    @staticmethod
+    def _pool(tasks, example_catalog, group_identical=True):
+        from repro.core.full_reconfig import _TaskPool
+
+        calc = ReservationPriceCalculator(example_catalog)
+        return _TaskPool(tasks, RPEvaluator(calc), group_identical)
+
+    def test_representatives_are_sorted_by_group_and_lowest_id_first(
+        self, example_catalog
+    ):
+        tasks = self._make_tasks(example_catalog)
+        pool = self._pool(tasks, example_catalog)
+        reps = pool.representatives()
+        assert len(reps) == 2
+        # Group keys sort 'a' before 'b'; the representative is the
+        # lowest task id of its group (stacks are pushed in descending
+        # id order, so the top is the smallest).
+        assert [r.workload for r in reps] == ["a", "b"]
+        assert reps[0].task_id == min(
+            t.task_id for t in tasks if t.workload == "a"
+        )
+
+    def test_pop_removes_only_the_representative(self, example_catalog):
+        tasks = self._make_tasks(example_catalog)
+        pool = self._pool(tasks, example_catalog)
+        rep = pool.representatives()[0]
+        popped = pool.pop(rep)
+        assert popped is rep
+        assert len(pool) == len(tasks) - 1
+        # Popping a task that is not currently on top is rejected (the
+        # stack top is the smallest remaining id, so the largest is not).
+        bottom = max(
+            (t for t in tasks if t.workload == "a"), key=lambda t: t.task_id
+        )
+        with pytest.raises(KeyError):
+            pool.pop(bottom)
+
+    def test_push_back_restores_group_order_and_stack_position(
+        self, example_catalog
+    ):
+        tasks = self._make_tasks(example_catalog)
+        pool = self._pool(tasks, example_catalog)
+        # Drain group 'a' entirely, then push its tasks back.
+        popped = []
+        while pool.representatives()[0].workload == "a":
+            popped.append(pool.pop(pool.representatives()[0]))
+        assert [r.workload for r in pool.representatives()] == ["b"]
+        pool.push_back(popped)
+        reps = pool.representatives()
+        assert [r.workload for r in reps] == ["a", "b"]
+        # Stacks are LIFO: the last pushed-back task is the new top.
+        assert reps[0] is popped[-1]
+        assert len(pool) == len(tasks)
+
+    def test_drain_matches_repeated_first_representative_pops(
+        self, example_catalog
+    ):
+        tasks = self._make_tasks(example_catalog)
+        reference = self._pool(tasks, example_catalog)
+        expected = []
+        while not reference.is_empty():
+            expected.append(reference.pop(reference.representatives()[0]))
+        drained = self._pool(tasks, example_catalog).drain()
+        assert [t.task_id for t in drained] == [t.task_id for t in expected]
+
+    def test_ungrouped_pool_has_one_bucket_per_task(self, example_catalog):
+        tasks = self._make_tasks(example_catalog)
+        pool = self._pool(tasks, example_catalog, group_identical=False)
+        reps = pool.representatives()
+        assert len(reps) == len(tasks)
+        assert [r.task_id for r in reps] == sorted(t.task_id for t in tasks)
+
+    def test_fingerprint_captures_stack_order(self, example_catalog):
+        tasks = self._make_tasks(example_catalog)
+        pool = self._pool(tasks, example_catalog)
+        fp1 = pool.fingerprint()
+        assert fp1 == self._pool(tasks, example_catalog).fingerprint()
+        rep = pool.representatives()[0]
+        pool.pop(rep)
+        assert pool.fingerprint() != fp1
+        pool.push_back([rep])
+        assert pool.fingerprint() == fp1

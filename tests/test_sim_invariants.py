@@ -23,13 +23,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import pickle
+
 from repro.cloud.catalog import ec2_catalog
 from repro.cloud.provider import SimulatedCloud
 from repro.cluster.resources import RESOURCE_NAMES
 from repro.core import make_scheduler
+from repro.sim.accounting import naive_totals
 from repro.sim.batch import Scenario, run_batch
 from repro.sim.metrics import AllocationIntegrator, SimulationResult
-from repro.sim.simulator import SpotConfig, run_simulation
+from repro.sim.simulator import ClusterSimulator, SpotConfig, run_simulation
 from repro.workloads.synthetic import synthetic_trace
 from repro.workloads.trace import Trace
 
@@ -172,6 +175,63 @@ def test_results_identical_across_hash_seeds():
         )
         outputs.add(proc.stdout.strip())
     assert len(outputs) == 1, f"hash-seed-dependent results: {outputs}"
+
+
+class _NaiveAccountingSimulator(ClusterSimulator):
+    """The pre-incremental engine: re-scan the whole cluster per event.
+
+    Uses the retained :func:`repro.sim.accounting.naive_totals` reference
+    so the equivalence test below compares the incremental O(delta)
+    accounting path against an independently derived ground truth.
+    """
+
+    def _account_until(self, time_s: float) -> None:
+        dt = time_s - self._accounting_time_s
+        if dt <= 0:
+            return
+        allocated, capacity, num_tasks, num_instances = naive_totals(
+            self._instances, self._tasks
+        )
+        self._alloc.accumulate(dt, allocated, capacity, num_tasks, num_instances)
+        self._accounting_time_s = time_s
+
+
+class TestIncrementalAccountingEquivalence:
+    """The O(delta) engine must be indistinguishable from a full re-scan."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("scheduler", ["eva", "stratus", "no-packing"])
+    def test_results_byte_identical_to_naive_reference(
+        self, scheduler, seed, catalog
+    ):
+        trace = _random_trace(seed)
+        results = []
+        for sim_cls in (ClusterSimulator, _NaiveAccountingSimulator):
+            sim = sim_cls(trace=trace, scheduler=make_scheduler(scheduler, catalog))
+            results.append(sim.run())
+        incremental, naive = results
+        assert pickle.dumps(incremental) == pickle.dumps(naive)
+
+    def test_spot_preemption_byte_identical_to_naive_reference(self, catalog):
+        trace = _random_trace(2)
+        spot = SpotConfig(enabled=True, preemption_rate_per_hour=0.5, seed=2)
+        results = []
+        for sim_cls in (ClusterSimulator, _NaiveAccountingSimulator):
+            sim = sim_cls(
+                trace=trace, scheduler=make_scheduler("eva", catalog), spot=spot
+            )
+            results.append(sim.run())
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    def test_validate_mode_cross_checks_every_event(self, catalog):
+        """validate=True asserts incremental == naive on every accounting
+        step; a green run is itself an equivalence proof over the whole
+        event stream."""
+        trace = _random_trace(5)
+        result = run_simulation(
+            trace, make_scheduler("eva", catalog), validate=True
+        )
+        check_invariants(trace, result)
 
 
 class TestAllocationIntegrator:
