@@ -6,10 +6,16 @@ A3C reinforcement-learning job — are submitted to an Eva master, which
 provisions simulated EC2 instances, co-locates tasks where cost-efficient,
 monitors throughput, and tears everything down as jobs finish.
 
+Part two runs a paper experiment through the declarative experiment API
+(see docs/experiments.md): every table/figure is an ``ExperimentSpec`` in
+a registry, executed with ``run_experiment`` — the same machinery behind
+``python -m repro.experiments run <id>``.
+
 Run:  python examples/quickstart.py
 """
 
 from repro import EvaScheduler, ec2_catalog
+from repro.experiments import ExperimentContext, get_experiment, run_experiment
 from repro.runtime import EvaMaster
 from repro.workloads import workload
 
@@ -51,6 +57,16 @@ def main() -> None:
         f"{stats['rounds']} scheduling rounds, "
         f"{stats['rpc_calls']} worker RPCs"
     )
+
+    # Part two: drive a registered experiment declaratively.  ``table08``
+    # validates the Alibaba trace generator against the published GPU-demand
+    # composition — cheap enough for a quickstart.  Heavier specs take the
+    # same ``ExperimentContext`` (plus seeds=… for mean ± std trials and
+    # store=ResultStore(...) for a persistent result cache).
+    spec = get_experiment("table08")
+    print(f"\nrunning experiment {spec.id!r}: {spec.title}")
+    run = run_experiment(spec, ExperimentContext(params={"num_jobs": 2000}))
+    print(run.presentation.text)
 
 
 if __name__ == "__main__":

@@ -6,50 +6,64 @@ spot launches bill at a discount, instances are reclaimed after random
 lifetimes, and preempted tasks are checkpointed and re-queued for the
 next scheduling round — so Eva transparently re-packs them.
 
+Each capacity mode is expressed as a declarative
+:class:`~repro.sim.batch.Scenario`, and because spot preemptions are
+random the sweep runs as **multi-seed trials**
+(:func:`~repro.sim.batch.run_trials`): every row reports mean ± std
+across seeds — spot savings are only meaningful with their variance.
+
 Run:  python examples/spot_market.py
 """
 
-from repro import EvaScheduler, ec2_catalog, run_simulation
 from repro.analysis.reporting import render_table
 from repro.sim import SpotConfig
-from repro.workloads import synthesize_alibaba_trace
+from repro.sim.batch import Scenario, TraceSpec, run_trials
+
+SEEDS = (11, 12, 13)
 
 
 def main() -> None:
-    catalog = ec2_catalog()
-    trace = synthesize_alibaba_trace(100, seed=11)
-
-    on_demand = run_simulation(trace, EvaScheduler(catalog))
-    rows = [
-        (
-            "on-demand",
-            round(on_demand.total_cost, 2),
-            "100.0%",
-            round(on_demand.mean_jct_hours(), 2),
-            0,
+    trace = TraceSpec.make("alibaba", num_jobs=100, seed=11)
+    scenarios = [
+        Scenario(scheduler="eva", trace=trace, name="on-demand"),
+    ] + [
+        Scenario(
+            scheduler="eva",
+            trace=trace,
+            name=f"spot, {rate:.2f} preemptions/hr",
+            spot=SpotConfig(enabled=True, preemption_rate_per_hour=rate),
         )
+        for rate in (0.05, 0.2)
     ]
-    for rate in (0.05, 0.2):
-        spot = run_simulation(
-            trace,
-            EvaScheduler(catalog),
-            spot=SpotConfig(enabled=True, preemption_rate_per_hour=rate, seed=11),
-        )
+
+    # One batch over (scenario × seed); reseeding varies the trace and the
+    # spot market's preemption draw together.
+    trials = run_trials(scenarios, SEEDS)
+    baseline = trials.aggregates[0]
+
+    rows = []
+    for aggregate in trials:
+        norm = aggregate.normalized_cost(baseline)
+        preemptions = aggregate.stat(lambda r: r.preemptions)
         rows.append(
             (
-                f"spot, {rate:.2f} preemptions/hr",
-                round(spot.total_cost, 2),
-                f"{spot.total_cost / on_demand.total_cost * 100:.1f}%",
-                round(spot.mean_jct_hours(), 2),
-                spot.preemptions,
+                aggregate.label,
+                f"{aggregate.total_cost:.2f}",
+                f"{norm.mean * 100:.1f}% ± {norm.std * 100:.1f}%",
+                f"{aggregate.mean_jct_hours:.2f}",
+                f"{preemptions:.1f}",
             )
         )
     print(
         render_table(
-            "Eva on spot capacity (30% of on-demand price)",
+            f"Eva on spot capacity (30% of on-demand price; "
+            f"{len(SEEDS)} seeds)",
             ("Capacity", "Total Cost ($)", "Norm. Cost", "Mean JCT (h)", "Preemptions"),
             rows,
             notes=(
+                "mean ± std across trial seeds "
+                + str(list(SEEDS))
+                + "; normalized per seed against the on-demand run",
                 "preempted tasks checkpoint during the interruption notice "
                 "and re-enter the queue; Eva re-packs them next round",
             ),

@@ -143,6 +143,57 @@ class ComparisonResult:
         )
 
 
+def comparison_scenarios(
+    trace: Trace | TraceSpec,
+    schedulers: Mapping[str, str] | None = None,
+    interference: InterferenceModel | None = None,
+    delay_model: DelayModel | None = None,
+    period_s: float = DEFAULT_PERIOD_S,
+    validate: bool = False,
+    seed: int = 0,
+) -> list[Scenario]:
+    """The scenario list of a comparison: one per display name.
+
+    This is the declarative half of :func:`compare_schedulers` — the
+    experiment registry builds grids from it and hands execution to the
+    (cache-aware, parallel) batch layer.  ``schedulers`` maps display
+    names to registry names; ``None`` means the standard five.
+    """
+    if schedulers is None:
+        schedulers = standard_scheduler_names()
+    return [
+        Scenario(
+            scheduler=registry_name,
+            trace=trace,
+            name=display,
+            interference=interference,
+            delay_model=delay_model,
+            period_s=period_s,
+            validate=validate,
+            seed=seed,
+        )
+        for display, registry_name in schedulers.items()
+    ]
+
+
+def comparison_from_results(
+    trace: Trace | TraceSpec,
+    results: Mapping[str, SimulationResult],
+    baseline_name: str = "No-Packing",
+) -> ComparisonResult:
+    """Bundle per-display results into a :class:`ComparisonResult`."""
+    results = dict(results)
+    if isinstance(trace, Trace):
+        trace_name = trace.name
+    elif results:
+        trace_name = next(iter(results.values())).trace_name
+    else:
+        trace_name = f"{trace.builder}-spec"
+    return ComparisonResult(
+        trace_name=trace_name, results=results, baseline_name=baseline_name
+    )
+
+
 def compare_schedulers(
     trace: Trace | TraceSpec,
     factories: Mapping[str, SchedulerFactory | str] | None = None,
@@ -151,6 +202,8 @@ def compare_schedulers(
     period_s: float = DEFAULT_PERIOD_S,
     validate: bool = False,
     workers: int | None = None,
+    store=None,
+    seed: int = 0,
 ) -> ComparisonResult:
     """Run ``trace`` under every scheduler and bundle the results.
 
@@ -162,7 +215,9 @@ def compare_schedulers(
     :class:`~repro.sim.batch.Scenario` lists and fan out over
     ``EVA_BENCH_WORKERS``/``workers`` processes) or zero-argument
     callables (run serially in-process).  ``None`` means the standard
-    five-scheduler grid.
+    five-scheduler grid.  ``store`` is an optional
+    :class:`~repro.sim.results.ResultStore`; cached scenarios are served
+    without re-simulating (callable-backed entries never cache).
     """
     if factories is None:
         factories = standard_scheduler_names()
@@ -171,19 +226,16 @@ def compare_schedulers(
     named = {
         display: ref for display, ref in factories.items() if isinstance(ref, str)
     }
-    scenarios = [
-        Scenario(
-            scheduler=registry_name,
-            trace=trace,
-            name=display,
-            interference=interference,
-            delay_model=delay_model,
-            period_s=period_s,
-            validate=validate,
-        )
-        for display, registry_name in named.items()
-    ]
-    for outcome in run_batch(scenarios, workers=workers):
+    scenarios = comparison_scenarios(
+        trace,
+        named,
+        interference=interference,
+        delay_model=delay_model,
+        period_s=period_s,
+        validate=validate,
+        seed=seed,
+    )
+    for outcome in run_batch(scenarios, workers=workers, store=store):
         results[outcome.scenario.name] = outcome.result
 
     has_callables = any(not isinstance(ref, str) for ref in factories.values())
@@ -203,10 +255,4 @@ def compare_schedulers(
 
     # Preserve the caller's grid order (normalization tables iterate it).
     results = {display: results[display] for display in factories}
-    if isinstance(trace, Trace):
-        trace_name = trace.name
-    elif results:
-        trace_name = next(iter(results.values())).trace_name
-    else:
-        trace_name = f"{trace.builder}-spec"
-    return ComparisonResult(trace_name=trace_name, results=results)
+    return comparison_from_results(trace, results)

@@ -2,15 +2,45 @@
 
 Every experiment driver returns an :class:`ExperimentTable`; benchmarks
 and examples print them with :func:`render_table`, producing the same
-rows/series the paper's tables and figures report.
+rows/series the paper's tables and figures report.  Tables also export
+to JSON (:meth:`ExperimentTable.to_json`) and CSV
+(:meth:`ExperimentTable.to_csv`) — the CLI's ``--format`` backends —
+and both round-trip losslessly through :meth:`ExperimentTable.from_json`
+/ :meth:`ExperimentTable.from_csv`.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
+
+
+def _plain_cell(value: Any) -> Any:
+    """Cell value as a JSON/CSV-encodable plain Python scalar."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def parse_cell(text: str) -> Any:
+    """Invert ``str(cell)`` for the scalar types tables actually hold."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    if text in ("True", "False"):
+        return text == "True"
+    if text == "None":
+        return None
+    return text
 
 
 @dataclass(frozen=True)
@@ -28,6 +58,65 @@ class ExperimentTable:
 
     def render(self) -> str:
         return render_table(self.title, self.headers, self.rows, self.notes)
+
+    # ------------------------------------------------------------------
+    # Structured export (the CLI's --format json/csv backends)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        """A JSON-encodable dict of this table (cells as plain scalars)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_plain_cell(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str | Mapping) -> "ExperimentTable":
+        data = json.loads(payload) if isinstance(payload, str) else payload
+        return cls(
+            title=data["title"],
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            notes=tuple(data.get("notes", ())),
+        )
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV: a header row then one row per result row.
+
+        The title and notes are not part of the CSV payload (they carry
+        no column structure); pass them back to :meth:`from_csv` when a
+        lossless round-trip matters, or use JSON which keeps everything.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow([_plain_cell(v) for v in row])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(
+        cls,
+        payload: str,
+        title: str = "",
+        notes: Sequence[str] = (),
+    ) -> "ExperimentTable":
+        """Parse :meth:`to_csv` output (numeric cells regain their type)."""
+        parsed = list(csv.reader(io.StringIO(payload)))
+        if not parsed:
+            raise ValueError("empty CSV payload")
+        return cls(
+            title=title,
+            headers=tuple(parsed[0]),
+            rows=tuple(
+                tuple(parse_cell(cell) for cell in row) for row in parsed[1:]
+            ),
+            notes=tuple(notes),
+        )
 
 
 def _format_cell(value) -> str:

@@ -72,6 +72,27 @@ class DelayModel:
     instance_multiplier: float = 1.0
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
+    def __fingerprint__(self) -> dict:
+        """Canonical content for the result-cache key.
+
+        A deterministic model is fully described by its multipliers (the
+        ``rng`` is never consulted); a stochastic model's behaviour lives
+        in mutable RNG state, so it refuses to fingerprint — scenarios
+        carrying one are treated as uncacheable by the ResultStore.
+        """
+        if self.stochastic:
+            from repro.sim.fingerprint import FingerprintError
+
+            raise FingerprintError(
+                "stochastic DelayModel samples from live RNG state and "
+                "cannot be fingerprinted; such scenarios are uncacheable"
+            )
+        return {
+            "stochastic": False,
+            "migration_multiplier": self.migration_multiplier,
+            "instance_multiplier": self.instance_multiplier,
+        }
+
     # -- instance-side ---------------------------------------------------
     def acquisition_s(self) -> float:
         """Delay between requesting an instance and the cloud granting it."""

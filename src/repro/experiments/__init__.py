@@ -1,11 +1,24 @@
 """Experiment drivers — one module per paper table/figure.
 
-Every driver exposes ``run(...)`` returning a result object whose
-``table`` (an :class:`~repro.analysis.reporting.ExperimentTable`) renders
-the same rows/series the paper reports.  ``EVA_BENCH_SCALE`` scales sizes
-(see :mod:`repro.experiments.common`).
+Every experiment is declared as an
+:class:`~repro.experiments.registry.ExperimentSpec` (scenario grid
+builder + aggregation + presentation) registered under its CLI id;
+importing this package populates the registry.  Drive them with
+``python -m repro.experiments {list,run,report}`` or
+:func:`~repro.experiments.registry.run_experiment`; each module also
+keeps a thin ``run(...)`` shim returning its result object.
+``EVA_BENCH_SCALE`` scales sizes (see :mod:`repro.experiments.common`).
 """
 
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentRun,
+    ExperimentSpec,
+    all_specs,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
 from repro.experiments import (
     fig01_interference,
     fig04_interference_sweep,
@@ -26,6 +39,13 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "ExperimentContext",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "all_specs",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
     "fig01_interference",
     "fig04_interference_sweep",
     "fig05_migration_sweep",

@@ -1,116 +1,281 @@
-"""Command-line runner for the experiment drivers.
+"""Command-line runner for the experiment registry.
 
 Usage::
 
-    python -m repro.experiments list            # show available experiments
-    python -m repro.experiments table13         # run one and print its table
-    python -m repro.experiments all             # run everything (slow)
+    python -m repro.experiments list                      # all experiments
+    python -m repro.experiments run table13               # run one
+    python -m repro.experiments run all                   # run everything (slow)
+    python -m repro.experiments run table11 --seeds 5     # mean ± std trials
+    python -m repro.experiments run table11 --cache-dir .eva-cache
+    python -m repro.experiments run table13 --format json --output out.json
+    python -m repro.experiments report out.json           # re-render a run
+    python -m repro.experiments table13                   # shorthand for run
 
-``EVA_BENCH_SCALE`` scales experiment sizes (see repro.experiments.common).
+Options (run):
+
+* ``--seed N`` — base seed (default 0).
+* ``--seeds N`` — run scenario-grid experiments across N seeds
+  (``seed .. seed+N-1``) and report mean ± std; direct experiments
+  (data tables, timing micro-benchmarks) ignore this.
+* ``--cache-dir DIR`` — persistent result cache; re-runs with the same
+  directory re-simulate nothing (content-addressed, code-token keyed).
+* ``--format {text,json,csv}`` — stdout format.
+* ``--output FILE`` — also write the JSON run record (any format).
+* ``--workers N`` — process fan-out (default: ``EVA_BENCH_WORKERS``).
+* ``--param k=v`` — experiment-specific size override (e.g.
+  ``--param num_jobs=60``), repeatable.
+
+``EVA_BENCH_SCALE`` scales default experiment sizes
+(see :mod:`repro.experiments.common`).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
+from typing import Any, Sequence
 
-from repro.experiments import (
-    fig01_interference,
-    fig04_interference_sweep,
-    fig05_migration_sweep,
-    fig06_workload_mix,
-    fig07_multitask_sweep,
-    fig08_arrival_rate,
-    table01_delays,
-    table04_microbench,
-    table05_runtime,
-    table06_multitask,
-    table07_workloads,
-    table10_e2e_large,
-    table11_e2e_small,
-    table12_fidelity,
-    table13_alibaba,
-    table14_gavel,
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentRun,
+    all_specs,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
 )
 
-#: name -> callable returning something with a render()able table.
-_RUNNERS = {
-    "fig01": lambda: fig01_interference.run(),
-    "fig04": lambda: _sweep(fig04_interference_sweep, "Figure 4"),
-    "fig05": lambda: _fig05(),
-    "fig06": lambda: _sweep(fig06_workload_mix, "Figure 6"),
-    "fig07": lambda: _sweep(fig07_multitask_sweep, "Figure 7"),
-    "fig08": lambda: _sweep(fig08_arrival_rate, "Figure 8"),
-    "table01": lambda: table01_delays.run(),
-    "table04": lambda: table04_microbench.run().table,
-    "table05": lambda: table05_runtime.run(),
-    "table06": lambda: table06_multitask.run().table,
-    "table07": lambda: table07_workloads.run_table7(),
-    "table08": lambda: table07_workloads.run_table8(),
-    "table09": lambda: table07_workloads.run_table9(),
-    "table10": lambda: _table10(),
-    "table11": lambda: table11_e2e_small.run().table,
-    "table12": lambda: table12_fidelity.run().table,
-    "table13": lambda: table13_alibaba.run().table,
-    "table14": lambda: table14_gavel.run().table,
-}
+_COMMANDS = ("list", "run", "report")
 
 
-class _TextResult:
-    """Adapter for runners that emit pre-rendered text."""
+def _parse_param(text: str) -> tuple[str, Any]:
+    from repro.analysis.reporting import parse_cell
 
-    def __init__(self, text: str):
-        self._text = text
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--param expects key=value, got {text!r}"
+        )
+    return key, parse_cell(raw)
 
-    def render(self) -> str:
-        return self._text
 
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's table/figure experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
 
-def _sweep(module, chart_title: str) -> _TextResult:
-    """Run a sweep driver and render its table plus an ASCII chart."""
-    from repro.analysis.charts import sweep_chart
-
-    result = module.run()
-    return _TextResult(
-        result.table.render()
-        + "\n\n"
-        + sweep_chart(chart_title, result.norm_cost)
+    list_parser = sub.add_parser("list", help="show registered experiments")
+    list_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
     )
 
-
-def _fig05() -> _TextResult:
-    result = fig05_migration_sweep.run()
-    return _TextResult(
-        result.adoption_table.render() + "\n\n" + result.cost_table.render()
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "ids", nargs="+", help="experiment ids (or 'all')"
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run grid experiments across N seeds and report mean ± std",
+    )
+    run_parser.add_argument("--cache-dir", default=None)
+    run_parser.add_argument(
+        "--format", choices=("text", "json", "csv"), default="text"
+    )
+    run_parser.add_argument(
+        "--output", default=None, help="write the JSON run record here"
+    )
+    run_parser.add_argument("--workers", type=int, default=None)
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment-specific override, repeatable",
     )
 
+    report_parser = sub.add_parser(
+        "report", help="re-render a saved JSON run record"
+    )
+    report_parser.add_argument("file", help="JSON file written by run --output")
+    report_parser.add_argument(
+        "--format", choices=("text", "json", "csv"), default="text"
+    )
+    report_parser.add_argument(
+        "--id",
+        action="append",
+        default=None,
+        help="only render these experiment ids",
+    )
+    return parser
 
-def _table10() -> _TextResult:
-    result = table10_e2e_large.run()
-    return _TextResult(result.table.render() + "\n\n" + result.uptime_cdf_text)
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = all_specs()
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {"id": s.id, "kind": s.kind, "title": s.title}
+                    for s in specs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(s.id) for s in specs)
+    for spec in specs:
+        print(f"{spec.id.ljust(width)}  [{spec.kind:>6}]  {spec.title}")
+    return 0
+
+
+def _resolve_ids(ids: Sequence[str]) -> list[str]:
+    unknown = [n for n in ids if n != "all" and n not in experiment_ids()]
+    if unknown:
+        raise KeyError(unknown)
+    if "all" in ids:
+        return list(experiment_ids())
+    return list(dict.fromkeys(ids))
+
+
+def _csv_blocks(payload: dict) -> str:
+    from repro.analysis.reporting import ExperimentTable
+
+    lines: list[str] = []
+    for table in payload["tables"]:
+        title = table["title"]
+        if not title.startswith(payload["id"]):
+            title = f"{payload['id']}: {title}"
+        lines.append(f"# {title}")
+        lines.append(ExperimentTable.from_json(table).to_csv().rstrip("\n"))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _print_run(payload: dict, fmt: str) -> None:
+    if fmt == "csv":
+        print(_csv_blocks(payload))
+        return
+    print(payload["text"])
+    cache = payload.get("cache")
+    if cache is not None:
+        total = cache["hits"] + cache["misses"]
+        print(
+            f"[cache] hits={cache['hits']}/{total} misses={cache['misses']} "
+            f"stores={cache['stores']} uncacheable={cache['uncacheable']}"
+        )
+    print(f"[{payload['id']} finished in {payload['elapsed_s']:.1f}s]\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        names = _resolve_ids(args.ids)
+    except KeyError as exc:
+        print(f"unknown experiment(s): {exc.args[0]}; try 'list'", file=sys.stderr)
+        return 2
+    if args.seeds is not None and args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.cache_dir is not None:
+        from repro.sim.results import ResultStore
+
+        store = ResultStore(args.cache_dir)
+    seeds = (
+        tuple(range(args.seed, args.seed + args.seeds))
+        if args.seeds is not None
+        else None
+    )
+    params = dict(args.param)
+
+    runs: list[ExperimentRun] = []
+    for name in names:
+        spec = get_experiment(name)
+        ctx = ExperimentContext(
+            seed=args.seed,
+            seeds=seeds if spec.kind == "grid" else None,
+            store=store if spec.kind == "grid" else None,
+            workers=args.workers,
+            params=params,
+        )
+        runs.append(run_experiment(spec, ctx))
+
+    record = {
+        "command": "run",
+        "ids": names,
+        "seed": args.seed,
+        "seeds": list(seeds) if seeds is not None else None,
+        "cache_dir": args.cache_dir,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "experiments": [run.to_jsonable() for run in runs],
+    }
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(record, indent=2))
+    else:
+        for run in runs:
+            _print_run(run.to_jsonable(), args.format)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read run record {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    payloads = record.get("experiments", [])
+    if args.id:
+        wanted = set(args.id)
+        payloads = [p for p in payloads if p["id"] in wanted]
+        missing = wanted - {p["id"] for p in payloads}
+        if missing:
+            print(f"not in record: {sorted(missing)}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(json.dumps({**record, "experiments": payloads}, indent=2))
+        return 0
+    for payload in payloads:
+        if args.format == "csv":
+            print(_csv_blocks(payload))
+        else:
+            print(payload["text"])
+            print(f"[{payload['id']} from {args.file}]\n")
+    return 0
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+    args = argv[1:]
+    if not args:
         print(__doc__)
         return 0
-    name = argv[1]
-    if name == "list":
-        for key in sorted(_RUNNERS):
-            print(key)
-        return 0
-    names = sorted(_RUNNERS) if name == "all" else [name]
-    unknown = [n for n in names if n not in _RUNNERS]
-    if unknown:
-        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
-        return 2
-    for key in names:
-        start = time.perf_counter()
-        result = _RUNNERS[key]()
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{key} finished in {elapsed:.1f}s]\n")
-    return 0
+    # Back-compat: `python -m repro.experiments table13` means `run table13`.
+    if args[0] not in _COMMANDS and args[0] not in ("-h", "--help"):
+        args = ["run", *args]
+    parsed = _build_parser().parse_args(args)
+    if parsed.command == "list":
+        return _cmd_list(parsed)
+    if parsed.command == "run":
+        return _cmd_run(parsed)
+    return _cmd_report(parsed)
 
 
 if __name__ == "__main__":

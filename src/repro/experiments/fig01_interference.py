@@ -11,6 +11,12 @@ standalone run — exercising the same reporting path the scheduler consumes.
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentTable
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    run_experiment,
+)
 from repro.cloud.catalog import ec2_catalog
 from repro.cluster.instance import fresh_instance
 from repro.interference.matrix import FIGURE1_WORKLOADS, figure1_matrix
@@ -47,7 +53,7 @@ def measure_pair(w1: str, w2: str, interference: InterferenceModel) -> float:
     return co_located_iters / standalone_iters
 
 
-def run() -> ExperimentTable:
+def _run(ctx: "ExperimentContext") -> ExperimentTable:
     """Measure the full 8×8 matrix and verify it matches Figure 1."""
     interference = InterferenceModel()
     published = figure1_matrix()
@@ -70,3 +76,16 @@ def run() -> ExperimentTable:
             "10-minute co-location window, p3.16xlarge host (paper protocol)",
         ),
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig01",
+        title="Pairwise co-location throughput matrix vs published Figure 1",
+        direct=_run,
+    )
+)
+
+
+def run() -> ExperimentTable:
+    return run_experiment(SPEC).value

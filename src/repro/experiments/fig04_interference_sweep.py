@@ -14,8 +14,17 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    Presentation,
+    ScenarioGrid,
+    grid_cells,
+    register,
+    run_experiment,
+)
 from repro.interference.model import InterferenceModel
-from repro.sim.batch import Scenario, TraceSpec, run_grid
+from repro.sim.batch import Scenario, TraceSpec
 
 INTERFERENCE_LEVELS = (1.0, 0.95, 0.9, 0.85, 0.8)
 
@@ -34,29 +43,31 @@ class Fig4Result:
     norm_cost: dict[tuple[str, float], float]  # (scheduler, level) -> cost
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param("num_jobs", scaled(200, minimum=60, maximum=3000))
     # A spec, not an inline trace: workers rebuild it instead of paying
     # the per-cell pickle cost of a multi-thousand-job trace.
-    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
-
-    grid = run_grid(
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=ctx.seed)
+    cells = grid_cells(
         INTERFERENCE_LEVELS,
         SCHEDULERS,
         lambda level, registry_name: Scenario(
             scheduler=registry_name,
             trace=trace,
             interference=InterferenceModel(uniform_value=level),
-            seed=seed,
+            seed=ctx.seed,
         ),
     )
+    return ScenarioGrid(cells=cells, meta={"num_jobs": num_jobs})
 
+
+def _aggregate(grid: ScenarioGrid, results) -> Fig4Result:
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for level in INTERFERENCE_LEVELS:
-        results = grid[level]
-        baseline = results["No-Packing"].total_cost
-        for name, result in results.items():
+        level_results = results[level]
+        baseline = level_results["No-Packing"].total_cost
+        for name, result in level_results.items():
             norm = result.total_cost / baseline
             norm_cost[(name, level)] = norm
             rows.append(
@@ -69,7 +80,8 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
                 )
             )
     table = ExperimentTable(
-        title=f"Figure 4: impact of co-location interference ({num_jobs} jobs)",
+        title=f"Figure 4: impact of co-location interference "
+        f"({grid.meta['num_jobs']} jobs)",
         headers=(
             "Co-location Tput",
             "Scheduler",
@@ -81,3 +93,28 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
         notes=("uniform pairwise throughput applied to every workload pair",),
     )
     return Fig4Result(table=table, norm_cost=norm_cost)
+
+
+def _present(result: Fig4Result) -> Presentation:
+    from repro.analysis.charts import sweep_chart
+
+    return Presentation.of_tables(
+        result.table, extra=sweep_chart("Figure 4", result.norm_cost)
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig04",
+        title="Sweep: uniform co-location interference level",
+        build=_build,
+        aggregate=_aggregate,
+        present=_present,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig4Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

@@ -17,7 +17,16 @@ from dataclasses import dataclass
 from repro.analysis.reporting import ExperimentTable
 from repro.cloud.delays import DelayModel
 from repro.experiments.common import scaled
-from repro.sim.batch import Scenario, TraceSpec, run_grid
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    Presentation,
+    ScenarioGrid,
+    grid_cells,
+    register,
+    run_experiment,
+)
+from repro.sim.batch import Scenario, TraceSpec
 
 DELAY_MULTIPLIERS = (1.0, 2.0, 4.0, 8.0)
 
@@ -39,29 +48,31 @@ class Fig5Result:
     norm_cost: dict[tuple[str, float], float]
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(200, minimum=60, maximum=3000)
-    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
-
-    grid = run_grid(
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param("num_jobs", scaled(200, minimum=60, maximum=3000))
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=ctx.seed)
+    cells = grid_cells(
         DELAY_MULTIPLIERS,
         SCHEDULERS,
         lambda mult, registry_name: Scenario(
             scheduler=registry_name,
             trace=trace,
             delay_model=DelayModel(migration_multiplier=mult),
-            seed=seed,
+            seed=ctx.seed,
         ),
     )
+    return ScenarioGrid(cells=cells, meta={"num_jobs": num_jobs})
 
+
+def _aggregate(grid: ScenarioGrid, results) -> Fig5Result:
     adoption_rows = []
     cost_rows = []
     full_adoption: dict[float, float] = {}
     norm_cost: dict[tuple[str, float], float] = {}
     for mult in DELAY_MULTIPLIERS:
-        results = dict(grid[mult])
-        baseline = results.pop("No-Packing")
-        eva_result = results["Eva"]
+        mult_results = dict(results[mult])
+        baseline = mult_results.pop("No-Packing")
+        eva_result = mult_results["Eva"]
         adoption = eva_result.full_adoption_fraction or 0.0
         full_adoption[mult] = adoption
         adoption_rows.append(
@@ -71,14 +82,14 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
                 round(eva_result.migrations / max(1, eva_result.num_jobs), 2),
             )
         )
-        for name, result in results.items():
+        for name, result in mult_results.items():
             norm = result.total_cost / baseline.total_cost
             norm_cost[(name, mult)] = norm
             cost_rows.append((f"{mult:.0f}x", name, round(norm, 3)))
 
     adoption_table = ExperimentTable(
         title=f"Figure 5a: Full Reconfiguration adoption vs migration delay "
-        f"({num_jobs} jobs)",
+        f"({grid.meta['num_jobs']} jobs)",
         headers=("Delay Mult.", "Full Reconfig Adopted", "Migrations per Job"),
         rows=tuple(adoption_rows),
     )
@@ -94,3 +105,24 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
         full_adoption=full_adoption,
         norm_cost=norm_cost,
     )
+
+
+def _present(result: Fig5Result) -> Presentation:
+    return Presentation.of_tables(result.adoption_table, result.cost_table)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig05",
+        title="Sweep: job-migration delay multiplier",
+        build=_build,
+        aggregate=_aggregate,
+        present=_present,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig5Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

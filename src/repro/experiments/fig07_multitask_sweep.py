@@ -12,8 +12,16 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
-from repro.sim.batch import Scenario, run_grid
-from repro.workloads.alibaba import remix_multi_task, synthesize_alibaba_trace
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    Presentation,
+    ScenarioGrid,
+    grid_cells,
+    register,
+    run_experiment,
+)
+from repro.sim.batch import Scenario, TraceSpec
 
 MULTI_TASK_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
 
@@ -32,36 +40,66 @@ class Fig7Result:
     norm_cost: dict[tuple[str, float], float]
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Fig7Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(180, minimum=50, maximum=3000)
-    base_trace = synthesize_alibaba_trace(num_jobs, seed=seed)
-
-    traces = {
-        fraction: remix_multi_task(base_trace, fraction, seed=seed)
-        for fraction in MULTI_TASK_FRACTIONS
-    }
-    grid = run_grid(
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param("num_jobs", scaled(180, minimum=50, maximum=3000))
+    cells = grid_cells(
         MULTI_TASK_FRACTIONS,
         SCHEDULERS,
         lambda fraction, registry_name: Scenario(
-            scheduler=registry_name, trace=traces[fraction], seed=seed
+            scheduler=registry_name,
+            trace=TraceSpec.make(
+                "alibaba-multi-task",
+                num_jobs=num_jobs,
+                multi_task_fraction=fraction,
+                seed=ctx.seed,
+            ),
+            seed=ctx.seed,
         ),
     )
+    return ScenarioGrid(cells=cells, meta={"num_jobs": num_jobs})
 
+
+def _aggregate(grid: ScenarioGrid, results) -> Fig7Result:
     rows = []
     norm_cost: dict[tuple[str, float], float] = {}
     for fraction in MULTI_TASK_FRACTIONS:
-        results = grid[fraction]
-        baseline = results["No-Packing"].total_cost
-        for name, result in results.items():
+        fraction_results = results[fraction]
+        baseline = fraction_results["No-Packing"].total_cost
+        for name, result in fraction_results.items():
             norm = result.total_cost / baseline
             norm_cost[(name, fraction)] = norm
             rows.append((f"{fraction * 100:.0f}%", name, round(norm, 3)))
 
     table = ExperimentTable(
-        title=f"Figure 7: impact of multi-task job proportion ({num_jobs} jobs)",
+        title=f"Figure 7: impact of multi-task job proportion "
+        f"({grid.meta['num_jobs']} jobs)",
         headers=("Multi-task Jobs", "Scheduler", "Norm. Total Cost"),
         rows=tuple(rows),
         notes=("2-task : 4-task duplication held at 1:1 (§6.7)",),
     )
     return Fig7Result(table=table, norm_cost=norm_cost)
+
+
+def _present(result: Fig7Result) -> Presentation:
+    from repro.analysis.charts import sweep_chart
+
+    return Presentation.of_tables(
+        result.table, extra=sweep_chart("Figure 7", result.norm_cost)
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig07",
+        title="Sweep: multi-task job proportion",
+        build=_build,
+        aggregate=_aggregate,
+        present=_present,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Fig7Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

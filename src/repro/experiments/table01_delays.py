@@ -13,11 +13,17 @@ from repro.analysis.reporting import ExperimentTable
 from repro.cloud import delays as d
 from repro.cloud.delays import DelayModel
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    run_experiment,
+)
 
 
-def run(samples: int | None = None, seed: int = 0) -> ExperimentTable:
-    n = samples if samples is not None else scaled(500, minimum=100)
-    model = DelayModel(stochastic=True, rng=np.random.default_rng(seed))
+def _run(ctx: ExperimentContext) -> ExperimentTable:
+    n = ctx.param("samples", scaled(500, minimum=100))
+    model = DelayModel(stochastic=True, rng=np.random.default_rng(ctx.seed))
     columns = {
         "Instance Acquisition": (
             [model.acquisition_s() for _ in range(n)],
@@ -64,3 +70,18 @@ def run(samples: int | None = None, seed: int = 0) -> ExperimentTable:
         rows=tuple(rows),
         notes=(f"{n} samples per component",),
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table01",
+        title="Reconfiguration delays: sampled vs published Table 1",
+        direct=_run,
+    )
+)
+
+
+def run(samples: int | None = None, seed: int = 0) -> ExperimentTable:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"samples": samples})
+    ).value

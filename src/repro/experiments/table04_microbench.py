@@ -32,6 +32,13 @@ from repro.core.full_reconfig import configuration_cost, full_reconfiguration
 from repro.core.ilp import ilp_schedule
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    Presentation,
+    register,
+    run_experiment,
+)
 from repro.sim.batch import parallel_map
 from repro.workloads.synthetic import microbench_task_pool
 
@@ -87,14 +94,11 @@ def _run_trial(spec: _TrialSpec) -> _TrialResult:
     )
 
 
-def run(
-    trials: int | None = None,
-    num_tasks: int | None = None,
-    ilp_time_limit_s: float = 20.0,
-    seed: int = 0,
-) -> Table4Result:
-    trials = trials if trials is not None else scaled(3, minimum=2, maximum=30)
-    num_tasks = num_tasks if num_tasks is not None else scaled(50, minimum=20, maximum=200)
+def _run(ctx: ExperimentContext) -> Table4Result:
+    trials = ctx.param("trials", scaled(3, minimum=2, maximum=30))
+    num_tasks = ctx.param("num_tasks", scaled(50, minimum=20, maximum=200))
+    ilp_time_limit_s = ctx.param("ilp_time_limit_s", 20.0)
+    seed = ctx.seed
 
     specs = [
         _TrialSpec(
@@ -104,7 +108,7 @@ def run(
         )
         for trial in range(trials)
     ]
-    trial_results = parallel_map(_run_trial, specs)
+    trial_results = parallel_map(_run_trial, specs, workers=ctx.workers)
 
     nopack_norms = [t.nopack_norm for t in trial_results]
     full_norms = [t.full_norm for t in trial_results]
@@ -149,3 +153,32 @@ def run(
         ilp_proven_optimal=proven,
         trials=trials,
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table04",
+        title="Micro-benchmark: provisioning cost vs Full Reconfig vs ILP",
+        direct=_run,
+        present=lambda result: Presentation.of_tables(result.table),
+    )
+)
+
+
+def run(
+    trials: int | None = None,
+    num_tasks: int | None = None,
+    ilp_time_limit_s: float = 20.0,
+    seed: int = 0,
+) -> Table4Result:
+    return run_experiment(
+        SPEC,
+        ExperimentContext(
+            seed=seed,
+            params={
+                "trials": trials,
+                "num_tasks": num_tasks,
+                "ilp_time_limit_s": ilp_time_limit_s,
+            },
+        ),
+    ).value

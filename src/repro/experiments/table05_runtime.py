@@ -20,6 +20,12 @@ from repro.core.evaluation import RPEvaluator
 from repro.core.full_reconfig import full_reconfiguration
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.experiments.common import bench_scale
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    run_experiment,
+)
 from repro.workloads.synthetic import microbench_task_pool
 
 GROUPED_SIZES = (1000, 2000, 4000, 8000)
@@ -38,7 +44,7 @@ def time_full_reconfig(
     return time.perf_counter() - start
 
 
-def run() -> ExperimentTable:
+def _run(ctx: ExperimentContext) -> ExperimentTable:
     scale = bench_scale()
     grouped_sizes = [n for n in GROUPED_SIZES if n <= 8000 * scale]
     faithful_sizes = [n for n in FAITHFUL_SIZES if n <= 1000 * scale]
@@ -56,3 +62,16 @@ def run() -> ExperimentTable:
             "(per-task scan, 8 cores)",
         ),
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table05",
+        title="Full Reconfiguration runtime scaling (grouped vs faithful)",
+        direct=_run,
+    )
+)
+
+
+def run() -> ExperimentTable:
+    return run_experiment(SPEC).value

@@ -15,7 +15,15 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
-from repro.sim.batch import Scenario, TraceSpec, run_grid
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    ScenarioGrid,
+    grid_cells,
+    register,
+    run_experiment,
+)
+from repro.sim.batch import Scenario, TraceSpec
 
 #: Display name → scheduler registry name for every trial.
 VARIANTS = {
@@ -32,16 +40,11 @@ class Table6Result:
     jcts: dict[str, tuple[float, float]]
 
 
-def run(
-    trials: int | None = None,
-    jobs_per_trial: int | None = None,
-    seed: int = 0,
-) -> Table6Result:
-    trials = trials if trials is not None else scaled(3, minimum=2, maximum=10)
-    jobs = jobs_per_trial if jobs_per_trial is not None else scaled(40, minimum=20, maximum=100)
-
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    trials = ctx.param("trials", scaled(3, minimum=2, maximum=10))
+    jobs = ctx.param("jobs_per_trial", scaled(40, minimum=20, maximum=100))
     # Workers rebuild each trial's trace from the spec (cheap to pickle).
-    grid = run_grid(
+    cells = grid_cells(
         range(trials),
         VARIANTS,
         lambda trial, registry_name: Scenario(
@@ -50,18 +53,22 @@ def run(
                 "multitask-microbench",
                 num_jobs=jobs,
                 tasks_per_job=4,
-                seed=seed + trial,
+                seed=ctx.seed + trial,
             ),
-            seed=seed + trial,
+            seed=ctx.seed + trial,
         ),
     )
+    return ScenarioGrid(cells=cells, meta={"trials": trials, "jobs": jobs})
 
+
+def _aggregate(grid: ScenarioGrid, results) -> Table6Result:
+    trials, jobs = grid.meta["trials"], grid.meta["jobs"]
     norm_costs: dict[str, list[float]] = {name: [] for name in VARIANTS}
     jcts: dict[str, list[float]] = {name: [] for name in VARIANTS}
     for trial in range(trials):
-        results = grid[trial]
-        baseline_cost = results["No-Packing"].total_cost
-        for name, result in results.items():
+        trial_results = results[trial]
+        baseline_cost = trial_results["No-Packing"].total_cost
+        for name, result in trial_results.items():
             norm_costs[name].append(result.total_cost / baseline_cost)
             jcts[name].append(result.mean_jct_hours())
 
@@ -92,3 +99,29 @@ def run(
         notes=("costs normalized to No-Packing per trial",),
     )
     return Table6Result(table=table, norm_costs=cost_stats, jcts=jct_stats)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table06",
+        title="Micro-benchmark: multi-task jobs (Eva-Single vs Eva-Multi)",
+        build=_build,
+        aggregate=_aggregate,
+        # The grid's trial axis IS a seed sweep (seed + trial per cell);
+        # generic --seeds reseeding would collapse it, so it's ignored.
+        multi_seed=False,
+    )
+)
+
+
+def run(
+    trials: int | None = None,
+    jobs_per_trial: int | None = None,
+    seed: int = 0,
+) -> Table6Result:
+    return run_experiment(
+        SPEC,
+        ExperimentContext(
+            seed=seed, params={"trials": trials, "jobs_per_trial": jobs_per_trial}
+        ),
+    ).value

@@ -11,6 +11,10 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentSpec,
+    register,
+)
 from repro.workloads.alibaba import (
     TABLE8_GPU_COMPOSITION,
     synthesize_alibaba_trace,
@@ -103,3 +107,32 @@ def run_table9(num_jobs: int | None = None, seed: int = 0) -> ExperimentTable:
         ),
         rows=rows,
     )
+
+
+SPEC_TABLE7 = register(
+    ExperimentSpec(
+        id="table07",
+        title="Data table: evaluated workloads and per-task demands",
+        direct=lambda ctx: run_table7(),
+    )
+)
+
+SPEC_TABLE8 = register(
+    ExperimentSpec(
+        id="table08",
+        title="Data table: generated GPU-demand composition vs published",
+        direct=lambda ctx: run_table8(
+            num_jobs=ctx.param("num_jobs"), seed=ctx.seed
+        ),
+    )
+)
+
+SPEC_TABLE9 = register(
+    ExperimentSpec(
+        id="table09",
+        title="Data table: generated duration statistics vs published",
+        direct=lambda ctx: run_table9(
+            num_jobs=ctx.param("num_jobs"), seed=ctx.seed
+        ),
+    )
+)

@@ -10,10 +10,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import ComparisonResult, compare_schedulers
+from repro.analysis.comparison import ComparisonResult, comparison_from_results
 from repro.analysis.reporting import ExperimentTable, render_cdf
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    Presentation,
+    ScenarioGrid,
+    comparison_grid,
+    register,
+    run_experiment,
+)
 from repro.sim.batch import TraceSpec
+
+SCHEDULERS = {
+    "No-Packing": "no-packing",
+    "Stratus": "stratus",
+    "Eva": "eva",
+}
 
 
 @dataclass(frozen=True)
@@ -23,19 +38,23 @@ class Table10Result:
     comparison: ComparisonResult
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Table10Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(120, minimum=40, maximum=120)
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param("num_jobs", scaled(120, minimum=40, maximum=120))
     trace = TraceSpec.make(
-        "synthetic", num_jobs=num_jobs, seed=seed, name=f"physical-{num_jobs}"
+        "synthetic", num_jobs=num_jobs, seed=ctx.seed, name=f"physical-{num_jobs}"
     )
-    schedulers = {
-        "No-Packing": "no-packing",
-        "Stratus": "stratus",
-        "Eva": "eva",
-    }
-    comparison = compare_schedulers(trace, schedulers)
+    return comparison_grid(
+        trace,
+        SCHEDULERS,
+        seed=ctx.seed,
+        meta={"trace": trace, "num_jobs": num_jobs},
+    )
+
+
+def _aggregate(grid: ScenarioGrid, results) -> Table10Result:
+    comparison = comparison_from_results(grid.meta["trace"], results[None])
     table = comparison.allocation_table(
-        f"Table 10: end-to-end experiment with {num_jobs} jobs"
+        f"Table 10: end-to-end experiment with {grid.meta['num_jobs']} jobs"
     )
     cdf = render_cdf(
         "Figure 3: instance uptime CDF (hours at cumulative fraction)",
@@ -45,3 +64,24 @@ def run(num_jobs: int | None = None, seed: int = 0) -> Table10Result:
         },
     )
     return Table10Result(table=table, uptime_cdf_text=cdf, comparison=comparison)
+
+
+def _present(result: Table10Result) -> Presentation:
+    return Presentation.of_tables(result.table, extra=result.uptime_cdf_text)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table10",
+        title="End-to-end, 120-job physical trace + Figure 3 uptime CDF",
+        build=_build,
+        aggregate=_aggregate,
+        present=_present,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Table10Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

@@ -5,8 +5,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import ComparisonResult, compare_schedulers
+from repro.analysis.comparison import ComparisonResult, comparison_from_results
 from repro.analysis.reporting import ExperimentTable
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    ScenarioGrid,
+    comparison_grid,
+    register,
+    run_experiment,
+)
 from repro.sim.batch import TraceSpec
 
 
@@ -16,10 +24,28 @@ class Table11Result:
     comparison: ComparisonResult
 
 
-def run(seed: int = 0) -> Table11Result:
-    trace = TraceSpec.make("small-physical", seed=seed)
-    comparison = compare_schedulers(trace)
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    trace = TraceSpec.make("small-physical", seed=ctx.seed)
+    return comparison_grid(trace, seed=ctx.seed, meta={"trace": trace})
+
+
+def _aggregate(grid: ScenarioGrid, results) -> Table11Result:
+    comparison = comparison_from_results(grid.meta["trace"], results[None])
     table = comparison.allocation_table(
         "Table 11: end-to-end experiment with 32 jobs"
     )
     return Table11Result(table=table, comparison=comparison)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table11",
+        title="End-to-end, 32-job physical trace, all five schedulers",
+        build=_build,
+        aggregate=_aggregate,
+    )
+)
+
+
+def run(seed: int = 0) -> Table11Result:
+    return run_experiment(SPEC, ExperimentContext(seed=seed)).value

@@ -20,6 +20,12 @@ from repro.analysis.reporting import ExperimentTable
 from repro.analysis.comparison import standard_scheduler_factories
 from repro.cloud.catalog import ec2_catalog
 from repro.cloud.delays import DelayModel
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    run_experiment,
+)
 from repro.sim.simulator import run_simulation
 from repro.workloads.synthetic import small_physical_trace
 
@@ -30,7 +36,8 @@ class Table12Result:
     max_abs_difference: float
 
 
-def run(seed: int = 0) -> Table12Result:
+def _run(ctx: ExperimentContext) -> Table12Result:
+    seed = ctx.seed
     catalog = ec2_catalog()
     trace = small_physical_trace(seed=seed)
 
@@ -67,3 +74,16 @@ def run(seed: int = 0) -> Table12Result:
         ),
     )
     return Table12Result(table=table, max_abs_difference=max_diff)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table12",
+        title="Simulator fidelity: deterministic vs stochastic proxy",
+        direct=_run,
+    )
+)
+
+
+def run(seed: int = 0) -> Table12Result:
+    return run_experiment(SPEC, ExperimentContext(seed=seed)).value

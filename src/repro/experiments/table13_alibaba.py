@@ -10,9 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.comparison import ComparisonResult, compare_schedulers
+from repro.analysis.comparison import ComparisonResult, comparison_from_results
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    ScenarioGrid,
+    comparison_grid,
+    register,
+    run_experiment,
+)
 from repro.sim.batch import TraceSpec
 
 
@@ -22,13 +30,38 @@ class Table13Result:
     comparison: ComparisonResult
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Table13Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(500, minimum=100, maximum=6274)
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param(
+        "num_jobs", scaled(500, minimum=100, maximum=6274)
+    )
     # A spec, not an inline trace: workers rebuild the (up to 6,274-job)
     # trace instead of unpickling one copy per scheduler.
-    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=seed)
-    comparison = compare_schedulers(trace)
+    trace = TraceSpec.make("alibaba", num_jobs=num_jobs, seed=ctx.seed)
+    return comparison_grid(
+        trace, seed=ctx.seed, meta={"trace": trace, "num_jobs": num_jobs}
+    )
+
+
+def _aggregate(grid: ScenarioGrid, results) -> Table13Result:
+    comparison = comparison_from_results(grid.meta["trace"], results[None])
     table = comparison.end_to_end_table(
-        f"Table 13: end-to-end simulation, Alibaba durations ({num_jobs} jobs)"
+        f"Table 13: end-to-end simulation, Alibaba durations "
+        f"({grid.meta['num_jobs']} jobs)"
     )
     return Table13Result(table=table, comparison=comparison)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table13",
+        title="End-to-end, Alibaba durations (headline experiment)",
+        build=_build,
+        aggregate=_aggregate,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Table13Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

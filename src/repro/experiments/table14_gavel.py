@@ -7,13 +7,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.analysis.comparison import ComparisonResult, compare_schedulers
+from repro.analysis.comparison import ComparisonResult, comparison_from_results
 from repro.analysis.reporting import ExperimentTable
 from repro.experiments.common import scaled
-from repro.workloads.alibaba import synthesize_alibaba_trace
-from repro.workloads.gavel import sample_gavel_durations_hours
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    ScenarioGrid,
+    comparison_grid,
+    register,
+    run_experiment,
+)
+from repro.sim.batch import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -22,18 +27,34 @@ class Table14Result:
     comparison: ComparisonResult
 
 
-def run(num_jobs: int | None = None, seed: int = 0) -> Table14Result:
-    num_jobs = num_jobs if num_jobs is not None else scaled(250, minimum=80, maximum=6274)
-    rng = np.random.default_rng(seed + 7)
-    durations = sample_gavel_durations_hours(rng, num_jobs)
-    trace = synthesize_alibaba_trace(
-        num_jobs,
-        seed=seed,
-        durations_hours=durations,
-        name=f"alibaba-gavel-{num_jobs}",
+def _build(ctx: ExperimentContext) -> ScenarioGrid:
+    num_jobs = ctx.param("num_jobs", scaled(250, minimum=80, maximum=6274))
+    trace = TraceSpec.make("alibaba-gavel", num_jobs=num_jobs, seed=ctx.seed)
+    return comparison_grid(
+        trace, seed=ctx.seed, meta={"trace": trace, "num_jobs": num_jobs}
     )
-    comparison = compare_schedulers(trace)
+
+
+def _aggregate(grid: ScenarioGrid, results) -> Table14Result:
+    comparison = comparison_from_results(grid.meta["trace"], results[None])
     table = comparison.end_to_end_table(
-        f"Table 14: end-to-end simulation, Gavel durations ({num_jobs} jobs)"
+        f"Table 14: end-to-end simulation, Gavel durations "
+        f"({grid.meta['num_jobs']} jobs)"
     )
     return Table14Result(table=table, comparison=comparison)
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table14",
+        title="End-to-end, Gavel durations (long-running training jobs)",
+        build=_build,
+        aggregate=_aggregate,
+    )
+)
+
+
+def run(num_jobs: int | None = None, seed: int = 0) -> Table14Result:
+    return run_experiment(
+        SPEC, ExperimentContext(seed=seed, params={"num_jobs": num_jobs})
+    ).value

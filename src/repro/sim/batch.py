@@ -17,16 +17,30 @@ Results come back as :class:`ScenarioOutcome` objects in **input order**
 regardless of completion order, each carrying the scenario, its
 :class:`~repro.sim.metrics.SimulationResult`, and the wall-clock time the
 simulation took inside its worker.
+
+Two higher layers build on scenarios:
+
+* ``run_batch(..., store=...)`` consults a persistent
+  :class:`~repro.sim.results.ResultStore` first and only simulates the
+  misses — interrupted sweeps resume, unchanged scenarios replay from
+  cache byte-identically.
+* :func:`run_trials` runs each scenario across N seeds (see
+  :func:`reseed`) and aggregates every metric to mean ± std as a
+  first-class :class:`TrialAggregate`.
 """
 
 from __future__ import annotations
 
 import copy
 import os
+import statistics
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.results import ResultStore
 
 from repro.cloud.delays import DelayModel
 from repro.cluster.instance import InstanceType
@@ -121,7 +135,12 @@ def trace_builder_names() -> tuple[str, ...]:
 
 
 def _register_builtin_builders() -> None:
-    from repro.workloads.alibaba import synthesize_alibaba_trace
+    from repro.workloads.alibaba import (
+        alibaba_gavel_trace,
+        alibaba_multi_gpu_trace,
+        alibaba_multi_task_trace,
+        synthesize_alibaba_trace,
+    )
     from repro.workloads.synthetic import (
         multitask_microbench_trace,
         small_physical_trace,
@@ -129,6 +148,9 @@ def _register_builtin_builders() -> None:
     )
 
     register_trace_builder("alibaba", synthesize_alibaba_trace)
+    register_trace_builder("alibaba-gavel", alibaba_gavel_trace)
+    register_trace_builder("alibaba-multi-gpu", alibaba_multi_gpu_trace)
+    register_trace_builder("alibaba-multi-task", alibaba_multi_task_trace)
     register_trace_builder("synthetic", synthetic_trace)
     register_trace_builder("multitask-microbench", multitask_microbench_trace)
     register_trace_builder("small-physical", small_physical_trace)
@@ -144,10 +166,25 @@ class TraceSpec:
     Keeps scenarios small on the wire: the worker process rebuilds the
     trace from the (deterministic, seeded) builder.  ``kwargs`` is stored
     as a sorted tuple of pairs so the spec stays hashable.
+
+    **Fingerprint stability contract** (:meth:`fingerprint`): the digest
+    is derived from a canonical JSON encoding of ``builder`` and the
+    sorted ``kwargs`` — never from Python's randomized ``hash()`` — so
+    it is identical across processes, interpreter restarts, and
+    ``PYTHONHASHSEED`` values.  It keys the persistent
+    :class:`~repro.sim.results.ResultStore`, so every field that can
+    change the built trace must flow into it (they all do: the spec *is*
+    builder + kwargs).
     """
 
     builder: str
     kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def fingerprint(self) -> str:
+        """Stable content digest of this spec (see class docstring)."""
+        from repro.sim.fingerprint import fingerprint
+
+        return fingerprint(self)
 
     @classmethod
     def make(cls, builder: str, **kwargs: Any) -> "TraceSpec":
@@ -181,6 +218,18 @@ class Scenario:
     cleanly into a worker process.  ``seed`` is handed to the trace
     builder when ``trace`` is a :class:`TraceSpec` without an explicit
     seed; seed the spot market explicitly via ``SpotConfig(seed=...)``.
+
+    **Fingerprint stability contract** (:meth:`fingerprint`): the digest
+    is a canonical-JSON content hash (no ``hash()``, no id()s), byte-
+    identical across processes and ``PYTHONHASHSEED`` values, covering
+    every field that affects the :class:`~repro.sim.metrics.SimulationResult`
+    — scheduler name, trace (spec or inline jobs), catalog, interference
+    and delay models, spot config, period, validate, and seed.  Only the
+    display ``name`` is excluded (cosmetic).  It is the cache key of the
+    persistent :class:`~repro.sim.results.ResultStore`; scenarios whose
+    models carry live RNG state (e.g. a stochastic ``DelayModel``) raise
+    :class:`~repro.sim.fingerprint.FingerprintError` and are treated as
+    uncacheable rather than fingerprinted unstably.
 
     Attributes:
         scheduler: Registry name (see :func:`repro.core.scheduler_names`).
@@ -221,6 +270,12 @@ class Scenario:
             else f"{self.trace.builder}-spec"
         )
         return f"{self.scheduler}@{trace_name}"
+
+    def fingerprint(self) -> str:
+        """Stable content digest of this scenario (see class docstring)."""
+        from repro.sim.fingerprint import fingerprint
+
+        return fingerprint(replace(self, name=None))
 
 
 @dataclass(frozen=True)
@@ -281,6 +336,7 @@ def _execute_scenario(scenario: Scenario) -> ScenarioOutcome:
 def run_batch(
     scenarios: Iterable[Scenario],
     workers: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> list[ScenarioOutcome]:
     """Run every scenario, fanning out over ``workers`` processes.
 
@@ -289,8 +345,32 @@ def run_batch(
     per-scenario metrics are identical for any worker count: each
     simulation is seeded and self-contained, and serial execution runs
     against a deep copy of the scenario just as a worker would.
+
+    With a ``store`` (a :class:`~repro.sim.results.ResultStore`), cached
+    outcomes are served without re-simulating and only the misses run;
+    fresh outcomes are written back, so an interrupted sweep resumes
+    where it stopped.  Results are byte-identical with or without a
+    store (cache entries are pickled originals, keyed by a content
+    fingerprint plus a code token).
     """
-    return parallel_map(_execute_scenario, scenarios, workers=workers)
+    scenarios = list(scenarios)
+    if store is None:
+        return parallel_map(_execute_scenario, scenarios, workers=workers)
+
+    outcomes: list[ScenarioOutcome | None] = []
+    missing: list[tuple[int, Scenario]] = []
+    for index, scenario in enumerate(scenarios):
+        cached = store.get(scenario)
+        outcomes.append(cached)
+        if cached is None:
+            missing.append((index, scenario))
+    fresh = parallel_map(
+        _execute_scenario, [scenario for _, scenario in missing], workers=workers
+    )
+    for (index, scenario), outcome in zip(missing, fresh):
+        store.put(scenario, outcome)
+        outcomes[index] = outcome
+    return outcomes  # type: ignore[return-value]  # every slot is filled
 
 
 def run_scenario(scenario: Scenario) -> ScenarioOutcome:
@@ -334,3 +414,168 @@ def run_grid(
     for (point, display, _), outcome in zip(cells, outcomes):
         grid[point][display] = outcome.result
     return grid
+
+
+# ---------------------------------------------------------------------------
+# Multi-seed trials (mean ± std across seeds as a first-class result)
+# ---------------------------------------------------------------------------
+
+
+def reseed(scenario: Scenario, seed: int) -> Scenario:
+    """Derive the ``seed``-th trial of ``scenario``.
+
+    Overrides every seed the scenario carries: ``Scenario.seed``, an
+    explicit ``seed`` kwarg inside a :class:`TraceSpec` (so specs that
+    pinned their seed still vary across trials), and the spot market's
+    ``SpotConfig.seed``.  Inline :class:`Trace` objects are already
+    built and cannot be re-seeded — express multi-seed sweeps as
+    :class:`TraceSpec` scenarios so each trial regenerates its trace.
+    """
+    trace = scenario.trace
+    if isinstance(trace, TraceSpec) and any(k == "seed" for k, _ in trace.kwargs):
+        trace = replace(
+            trace,
+            kwargs=tuple(
+                (k, seed if k == "seed" else v) for k, v in trace.kwargs
+            ),
+        )
+    spot = scenario.spot
+    if spot is not None:
+        spot = replace(spot, seed=seed)
+    return replace(scenario, seed=seed, trace=trace, spot=spot)
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean ± std (population, ``ddof=0``) of one metric across seeds."""
+
+    mean: float
+    std: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "MetricStats":
+        vals = tuple(float(v) for v in values)
+        if not vals:
+            raise ValueError("MetricStats needs at least one value")
+        mean = statistics.fmean(vals)
+        std = (
+            0.0
+            if len(vals) == 1
+            else statistics.pstdev(vals, mu=mean)
+        )
+        return cls(mean=mean, std=std, values=vals)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3f"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+@dataclass(frozen=True)
+class TrialAggregate:
+    """One scenario's outcomes across every trial seed.
+
+    ``outcomes`` are ordered like ``seeds``; :meth:`stat` reduces any
+    per-result metric to :class:`MetricStats`, and the common paper
+    metrics are exposed as properties.
+    """
+
+    scenario: Scenario
+    seeds: tuple[int, ...]
+    outcomes: tuple[ScenarioOutcome, ...]
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label
+
+    @property
+    def results(self) -> tuple[SimulationResult, ...]:
+        return tuple(outcome.result for outcome in self.outcomes)
+
+    def stat(self, metric: Callable[[SimulationResult], float]) -> MetricStats:
+        return MetricStats.of(metric(result) for result in self.results)
+
+    @property
+    def total_cost(self) -> MetricStats:
+        return self.stat(lambda r: r.total_cost)
+
+    @property
+    def mean_jct_hours(self) -> MetricStats:
+        return self.stat(lambda r: r.mean_jct_hours())
+
+    @property
+    def mean_normalized_tput(self) -> MetricStats:
+        return self.stat(lambda r: r.mean_normalized_tput())
+
+    @property
+    def instances_launched(self) -> MetricStats:
+        return self.stat(lambda r: r.instances_launched)
+
+    def normalized_cost(self, baseline: "TrialAggregate") -> MetricStats:
+        """Per-seed cost ratio against ``baseline``, aggregated.
+
+        Ratios are taken seed-by-seed (trial *i* against baseline trial
+        *i*), matching how the paper normalizes repeated trials.
+        """
+        if baseline.seeds != self.seeds:
+            raise ValueError(
+                f"baseline seeds {baseline.seeds} != trial seeds {self.seeds}"
+            )
+        return MetricStats.of(
+            mine.total_cost / theirs.total_cost
+            for mine, theirs in zip(self.results, baseline.results)
+        )
+
+
+@dataclass(frozen=True)
+class TrialSet:
+    """Every scenario's :class:`TrialAggregate` for one multi-seed run.
+
+    Aggregates are ordered like the input scenarios; ``seeds`` is shared
+    by every aggregate.
+    """
+
+    seeds: tuple[int, ...]
+    aggregates: tuple[TrialAggregate, ...]
+
+    def __iter__(self):
+        return iter(self.aggregates)
+
+    def __len__(self) -> int:
+        return len(self.aggregates)
+
+    def by_label(self) -> dict[str, TrialAggregate]:
+        return {aggregate.label: aggregate for aggregate in self.aggregates}
+
+
+def run_trials(
+    scenarios: Iterable[Scenario],
+    seeds: Sequence[int],
+    workers: int | None = None,
+    store: "ResultStore | None" = None,
+) -> TrialSet:
+    """Run every scenario across every seed and aggregate per scenario.
+
+    The full (scenario × seed) product runs as **one** batch, so it fans
+    out over ``workers`` processes and deduplicates against ``store``
+    like any other sweep.  Trials are derived with :func:`reseed`.
+    """
+    scenarios = list(scenarios)
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ValueError("run_trials needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"trial seeds must be distinct, got {seeds}")
+    cells = [
+        reseed(scenario, seed) for scenario in scenarios for seed in seeds
+    ]
+    outcomes = run_batch(cells, workers=workers, store=store)
+    aggregates = []
+    for index, scenario in enumerate(scenarios):
+        per_seed = outcomes[index * len(seeds) : (index + 1) * len(seeds)]
+        aggregates.append(
+            TrialAggregate(
+                scenario=scenario, seeds=seeds, outcomes=tuple(per_seed)
+            )
+        )
+    return TrialSet(seeds=seeds, aggregates=tuple(aggregates))

@@ -1,0 +1,130 @@
+"""Stable content fingerprints for scenario-shaped plain data.
+
+The :class:`~repro.sim.results.ResultStore` caches simulation outcomes
+keyed by a *fingerprint* of the scenario that produced them, so the
+fingerprint is a correctness-critical contract:
+
+* **Stable across processes and interpreter restarts** — it is derived
+  from a canonical JSON encoding of sorted, explicitly-typed fields,
+  never from Python's randomized ``hash()``.  Two processes with
+  different ``PYTHONHASHSEED`` values produce identical fingerprints
+  for equal values (guarded by a subprocess regression test).
+* **Injective over the fields that affect results** — any field change
+  that could change a simulation's outcome changes the fingerprint.
+  Purely cosmetic fields (display labels) are excluded by the caller.
+* **Fail-closed** — values whose behaviour cannot be captured as plain
+  data (live RNG state, arbitrary callables) raise
+  :class:`FingerprintError` instead of silently fingerprinting to
+  something unstable; callers treat such scenarios as uncacheable.
+
+The canonical encoding, in brief: mappings become objects with keys
+sorted by string value; sequences become arrays; dataclasses become
+``{"__dataclass__": qualified name, "fields": {...}}`` objects over
+their public (non-underscore) fields; floats are required to be finite
+and are rendered with ``repr``-level precision via ``json.dumps``;
+numpy scalars/arrays are converted to tagged lists.  The fingerprint is
+the SHA-256 hex digest of the UTF-8 canonical JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import fields, is_dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["FingerprintError", "canonical_json", "fingerprint"]
+
+
+class FingerprintError(TypeError):
+    """Raised for values that have no stable canonical encoding."""
+
+
+def _canonical(value: Any, path: str) -> Any:
+    """Convert ``value`` to a JSON-encodable canonical structure."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            # JSON NaN/Infinity encoding is implementation-defined; the
+            # simulator never needs them as inputs, so refuse.
+            raise FingerprintError(f"non-finite float at {path}: {value!r}")
+        return value
+    if isinstance(value, np.generic):
+        return _canonical(value.item(), path)
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": str(value.dtype),
+            "shape": list(value.shape),
+            "data": _canonical(value.tolist(), path + ".data"),
+        }
+    if isinstance(value, np.random.Generator):
+        raise FingerprintError(
+            f"live RNG state at {path} has no stable fingerprint; "
+            "describe stochastic inputs by their seed instead"
+        )
+    custom = getattr(type(value), "__fingerprint__", None)
+    if custom is not None:
+        # Types whose dataclass fields over- or under-describe their
+        # behaviour (e.g. DelayModel's unused rng in deterministic mode)
+        # canonicalize themselves; the type name tags the encoding.
+        return {
+            "__fingerprint__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "value": _canonical(custom(value), path),
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        encoded: dict[str, Any] = {}
+        for f in fields(value):
+            if f.name.startswith("_"):
+                continue  # private caches never affect results
+            encoded[f.name] = _canonical(
+                getattr(value, f.name), f"{path}.{f.name}"
+            )
+        return {
+            "__dataclass__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "fields": encoded,
+        }
+    if isinstance(value, Mapping):
+        items = [(str(k), k, v) for k, v in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        if len({k for k, _, _ in items}) != len(items):
+            raise FingerprintError(f"mapping at {path} has colliding string keys")
+        return {
+            "__mapping__": True,
+            "items": [
+                [_canonical(k, f"{path}[{s}]"), _canonical(v, f"{path}[{s}]")]
+                for s, k, v in items
+            ],
+        }
+    if isinstance(value, (set, frozenset)):
+        elems = [_canonical(v, f"{path}{{}}") for v in value]
+        return {"__set__": sorted(elems, key=lambda e: json.dumps(e, sort_keys=True))}
+    if isinstance(value, Sequence):
+        return [_canonical(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    raise FingerprintError(
+        f"cannot fingerprint {type(value).__module__}.{type(value).__qualname__} "
+        f"at {path}; supported: plain data, dataclasses, numpy arrays"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (see module docstring).
+
+    Equal values produce byte-identical text in every process; raises
+    :class:`FingerprintError` for values with no stable encoding.
+    """
+    return json.dumps(
+        _canonical(value, "$"),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -1,0 +1,225 @@
+"""Content-addressed, persistent cache of scenario outcomes.
+
+A :class:`ResultStore` maps ``(code token, scenario fingerprint)`` to a
+pickled :class:`~repro.sim.batch.ScenarioOutcome`, so interrupted sweeps
+resume where they stopped and unchanged scenarios are never re-simulated.
+
+Keys:
+
+* **Scenario fingerprint** — :meth:`repro.sim.batch.Scenario.fingerprint`,
+  a stable canonical-JSON digest of every result-affecting field (the
+  display ``name`` is excluded; see :mod:`repro.sim.fingerprint` for the
+  stability contract).
+* **Code token** — a digest of every ``repro`` source file, i.e. exactly
+  the code git tracks for the package.  Any committed code change mints
+  a new token, invalidating every cached outcome at once: simulation
+  results are a function of (scenario, code), and only byte-identical
+  replays may be served from cache.
+
+Layout under the store root (safe to delete at any time)::
+
+    <root>/<code-token[:16]>/<fingerprint>.pkl
+
+Entries are written atomically (temp file + ``os.replace``) so a killed
+sweep never leaves a truncated entry behind, and unreadable/corrupted
+entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import Scenario, ScenarioOutcome
+
+__all__ = ["CacheStats", "ResultStore", "code_token"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_token() -> str:
+    """Digest of the installed ``repro`` package's Python sources.
+
+    Hashes the sorted relative paths and contents of every ``*.py`` file
+    under the package directory — the git-visible code — so the token
+    changes exactly when committed package code changes.  Caches (pyc),
+    editor droppings, and non-Python files are ignored.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(root.rglob("*.py")):
+        digest.update(source.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Running counters of one store's traffic.
+
+    ``hits``/``misses`` count lookups; ``stores`` counts successful
+    writes; ``uncacheable`` counts scenarios whose fingerprint could not
+    be computed (e.g. live RNG state) and which therefore bypassed the
+    cache entirely.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+        }
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            stores=self.stores - other.stores,
+            uncacheable=self.uncacheable - other.uncacheable,
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+
+#: Pickle format marker; bump when the entry layout changes so old
+#: stores read as misses instead of unpickling garbage.
+_ENTRY_VERSION = 1
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed cache of scenario outcomes.
+
+    Args:
+        root: Cache directory (created on first write).
+        token: Override the code token — tests use this to simulate a
+            code change; production callers leave the default.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], token: str | None = None):
+        self.root = Path(root)
+        self.token = token if token is not None else code_token()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def _entry_path(self, fp: str) -> Path:
+        return self.root / self.token[:16] / f"{fp}.pkl"
+
+    def _fingerprint(
+        self, scenario: "Scenario", count_uncacheable: bool = True
+    ) -> str | None:
+        from repro.sim.fingerprint import FingerprintError
+
+        try:
+            return scenario.fingerprint()
+        except FingerprintError:
+            # `uncacheable` counts lookups only; the paired put() of a
+            # run_batch miss must not count the same scenario twice.
+            if count_uncacheable:
+                self.stats.uncacheable += 1
+            return None
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, scenario: "Scenario") -> "ScenarioOutcome | None":
+        """The cached outcome for ``scenario``, or None.
+
+        A hit returns the stored outcome with its ``scenario`` field
+        replaced by the *requested* scenario (fingerprints exclude the
+        display name, so the stored label may differ); the
+        :class:`~repro.sim.metrics.SimulationResult` inside is the
+        byte-identical pickled original.  Unfingerprintable scenarios
+        and unreadable/corrupted/mismatched entries all count and
+        behave as misses.
+        """
+        fp = self._fingerprint(scenario)
+        if fp is None:
+            return None
+        entry = self._load_entry(self._entry_path(fp))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        outcome: ScenarioOutcome = entry["outcome"]
+        return replace(outcome, scenario=scenario)
+
+    def put(self, scenario: "Scenario", outcome: "ScenarioOutcome") -> bool:
+        """Store ``outcome`` under ``scenario``'s fingerprint.
+
+        Returns True if the entry was written; False for uncacheable
+        scenarios.  Writes are atomic (temp file + rename), so readers
+        never observe partial entries.
+        """
+        fp = self._fingerprint(scenario, count_uncacheable=False)
+        if fp is None:
+            return False
+        path = self._entry_path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {"version": _ENTRY_VERSION, "fingerprint": fp, "outcome": outcome},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return True
+
+    def _load_entry(self, path: Path) -> dict | None:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            entry = pickle.loads(raw)
+        except Exception:
+            return None  # truncated/corrupted entry: a miss, never fatal
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != _ENTRY_VERSION
+            or "outcome" not in entry
+        ):
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _entries(self) -> Iterator[Path]:
+        token_dir = self.root / self.token[:16]
+        if not token_dir.is_dir():
+            return
+        yield from token_dir.glob("*.pkl")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r}, token={self.token[:16]})"

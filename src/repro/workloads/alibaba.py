@@ -370,3 +370,50 @@ def remix_multi_task(
         name=f"{trace.name}+multitask{multi_task_fraction:.0%}",
         jobs=sort_jobs_by_arrival(new_jobs),
     )
+
+
+# ---------------------------------------------------------------------------
+# Named builders for the batch layer (picklable, reseedable TraceSpecs)
+# ---------------------------------------------------------------------------
+
+
+def alibaba_multi_gpu_trace(
+    num_jobs: int, multi_gpu_fraction: float, seed: int = 0
+) -> Trace:
+    """Figure 6's remixed trace as a single named builder.
+
+    Synthesizes the Alibaba-like trace and applies
+    :func:`remix_multi_gpu`, both from ``seed`` — byte-identical to
+    remixing :func:`synthesize_alibaba_trace` inline, but expressible as
+    a :class:`~repro.sim.batch.TraceSpec` so sweeps pickle small, cache
+    by content, and re-seed across trials.
+    """
+    base = synthesize_alibaba_trace(num_jobs, seed=seed)
+    return remix_multi_gpu(base, multi_gpu_fraction, seed=seed)
+
+
+def alibaba_multi_task_trace(
+    num_jobs: int, multi_task_fraction: float, seed: int = 0
+) -> Trace:
+    """Figure 7's remixed trace as a single named builder (see above)."""
+    base = synthesize_alibaba_trace(num_jobs, seed=seed)
+    return remix_multi_task(base, multi_task_fraction, seed=seed)
+
+
+def alibaba_gavel_trace(num_jobs: int, seed: int = 0) -> Trace:
+    """Table 14's trace: Alibaba arrivals/demands, Gavel durations.
+
+    Durations are drawn with an offset RNG stream (``seed + 7``) so they
+    are independent of the arrival/demand stream, exactly as the Table 14
+    driver always constructed it.
+    """
+    from repro.workloads.gavel import sample_gavel_durations_hours
+
+    rng = np.random.default_rng(seed + 7)
+    durations = sample_gavel_durations_hours(rng, num_jobs)
+    return synthesize_alibaba_trace(
+        num_jobs,
+        seed=seed,
+        durations_hours=durations,
+        name=f"alibaba-gavel-{num_jobs}",
+    )

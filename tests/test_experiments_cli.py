@@ -1,37 +1,115 @@
 """Tests for the experiments CLI (python -m repro.experiments)."""
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import _RUNNERS, main
+from repro.experiments.__main__ import main
+from repro.experiments.registry import experiment_ids
 
 
-class TestCli:
+class TestList:
     def test_list(self, capsys):
         assert main(["prog", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("table13", "fig04", "table04"):
+        for name in experiment_ids():
             assert name in out
 
+    def test_list_json(self, capsys):
+        assert main(["prog", "list", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["id"] for e in entries} == set(experiment_ids())
+        assert all({"id", "kind", "title"} <= set(e) for e in entries)
+
+
+class TestRun:
     def test_unknown_experiment(self, capsys):
-        assert main(["prog", "tableXX"]) == 2
+        assert main(["prog", "run", "tableXX"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_id_rejected_even_with_all(self, capsys):
+        assert main(["prog", "run", "all", "tableXX"]) == 2
+        assert "tableXX" in capsys.readouterr().err
 
     def test_help(self, capsys):
         assert main(["prog"]) == 0
         assert "Usage" in capsys.readouterr().out
 
-    def test_run_cheap_experiment(self, capsys):
-        assert main(["prog", "table08"]) == 0
+    def test_bare_id_back_compat(self, capsys):
+        assert main(["prog", "table08", "--param", "num_jobs=1000"]) == 0
         out = capsys.readouterr().out
         assert "GPU Demand" in out
         assert "finished in" in out
 
-    def test_every_runner_registered(self):
-        # One runner per paper table/figure (plus data tables 7-9).
-        expected = {
-            "fig01", "fig04", "fig05", "fig06", "fig07", "fig08",
-            "table01", "table04", "table05", "table06", "table07",
-            "table08", "table09", "table10", "table11", "table12",
-            "table13", "table14",
-        }
-        assert set(_RUNNERS) == expected
+    def test_run_subcommand(self, capsys):
+        assert main(["prog", "run", "table07"]) == 0
+        assert "Workload" in capsys.readouterr().out
+
+    def test_run_json_format(self, capsys):
+        assert main(
+            ["prog", "run", "table08", "--param", "num_jobs=1000",
+             "--format", "json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["ids"] == ["table08"]
+        [payload] = record["experiments"]
+        assert payload["id"] == "table08"
+        assert payload["tables"][0]["headers"] == ["GPU Demand", "Published", "Generated"]
+
+    def test_run_csv_format(self, capsys):
+        assert main(
+            ["prog", "run", "table07", "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# table07:")
+        assert "Workload,Description" in out
+
+    def test_seeds_validated(self, capsys):
+        assert main(["prog", "run", "table08", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_param_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["prog", "run", "table08", "--param", "nonsense"])
+
+
+class TestCacheAndReport:
+    def test_cached_rerun_and_report(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out_file = str(tmp_path / "run.json")
+        args = [
+            "prog", "run", "table11", "--seeds", "2",
+            "--cache-dir", cache, "--format", "json", "--output", out_file,
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["experiments"][0]["cache"]["misses"] == 10
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        cache_stats = second["experiments"][0]["cache"]
+        assert cache_stats["misses"] == 0, "second run must be 100% cache hits"
+        assert cache_stats["hits"] == 10
+        assert (
+            second["experiments"][0]["tables"] == first["experiments"][0]["tables"]
+        )
+
+        # report re-renders the saved record without simulating
+        assert main(["prog", "report", out_file]) == 0
+        text = capsys.readouterr().out
+        assert "multi-seed trials" in text
+        assert main(["prog", "report", out_file, "--format", "csv"]) == 0
+        assert "Scenario,Total Cost" in capsys.readouterr().out
+
+    def test_report_missing_file(self, capsys):
+        assert main(["prog", "report", "/nonexistent/run.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_unknown_id(self, tmp_path, capsys):
+        out_file = str(tmp_path / "run.json")
+        assert main(
+            ["prog", "run", "table07", "--format", "json", "--output", out_file]
+        ) == 0
+        capsys.readouterr()
+        assert main(["prog", "report", out_file, "--id", "fig04"]) == 2
+        assert "not in record" in capsys.readouterr().err

@@ -1,0 +1,83 @@
+"""ExperimentTable export formats: json/csv round trips, stable render."""
+
+import json
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+
+
+def _table() -> ExperimentTable:
+    return ExperimentTable(
+        title="Table X: demo",
+        headers=("Scheduler", "Cost ($)", "Norm. Cost", "Jobs"),
+        rows=(
+            ("Eva", 123.456, "94.8%", 32),
+            ("No-Packing", 130.0, "100.0%", 32),
+        ),
+        notes=("a note", "another note"),
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_exact(self):
+        table = _table()
+        assert ExperimentTable.from_json(table.to_json()) == table
+
+    def test_accepts_dict_payload(self):
+        table = _table()
+        assert ExperimentTable.from_json(table.to_jsonable()) == table
+
+    def test_numpy_cells_are_encodable(self):
+        table = ExperimentTable(
+            title="t",
+            headers=("a", "b"),
+            rows=((np.float64(1.5), np.int64(2)),),
+        )
+        payload = json.loads(table.to_json())
+        assert payload["rows"] == [[1.5, 2]]
+        restored = ExperimentTable.from_json(payload)
+        assert restored.rows == ((1.5, 2),)
+        assert restored == table  # numpy scalars compare equal to plain ones
+
+    def test_render_of_round_trip_is_identical(self):
+        table = _table()
+        assert ExperimentTable.from_json(table.to_json()).render() == table.render()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_values(self):
+        table = _table()
+        restored = ExperimentTable.from_csv(
+            table.to_csv(), title=table.title, notes=table.notes
+        )
+        assert restored == table
+
+    def test_reemission_is_identity(self):
+        csv_text = _table().to_csv()
+        assert ExperimentTable.from_csv(csv_text).to_csv() == csv_text
+
+    def test_quoting_survives(self):
+        table = ExperimentTable(
+            title="t",
+            headers=("name", "value"),
+            rows=(('comma, "quoted"', 1.0),),
+        )
+        restored = ExperimentTable.from_csv(table.to_csv())
+        assert restored.rows[0][0] == 'comma, "quoted"'
+
+
+class TestRenderUnchanged:
+    def test_render_golden(self):
+        """render() is the byte-level contract the old CLI printed."""
+        expected = (
+            "Table X: demo\n"
+            "=============\n"
+            "Scheduler   Cost ($)  Norm. Cost  Jobs\n"
+            "--------------------------------------\n"
+            "Eva         123.46    94.8%       32\n"
+            "No-Packing  130.00    100.0%      32\n"
+            "  note: a note\n"
+            "  note: another note"
+        )
+        assert _table().render() == expected

@@ -1,0 +1,164 @@
+"""ResultStore semantics: byte-identical hits, invalidation, corruption
+tolerance, and multi-seed aggregation."""
+
+import pickle
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.cloud.delays import DelayModel
+from repro.sim.batch import (
+    MetricStats,
+    Scenario,
+    TraceSpec,
+    run_batch,
+    run_trials,
+)
+from repro.sim.results import ResultStore, code_token
+
+
+def _scenario(name="Eva", scheduler="eva", seed=0) -> Scenario:
+    return Scenario(
+        scheduler=scheduler,
+        trace=TraceSpec.make("small-physical", seed=seed),
+        name=name,
+        seed=seed,
+    )
+
+
+class TestResultStore:
+    def test_cache_hit_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = _scenario()
+        first = run_batch([scenario], store=store)[0]
+        second = run_batch([scenario], store=store)[0]
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert pickle.dumps(first.result) == pickle.dumps(second.result)
+        assert first == second  # scenario, result, and elapsed all equal
+
+    def test_hit_carries_requested_display_name(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_batch([_scenario(name="First")], store=store)
+        hit = store.get(_scenario(name="Second"))
+        assert hit is not None
+        assert hit.scenario.name == "Second"
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_batch([_scenario(seed=0)], store=store)
+        assert store.get(_scenario(seed=1)) is None
+
+    def test_code_token_change_invalidates(self, tmp_path):
+        scenario = _scenario()
+        store = ResultStore(tmp_path)
+        run_batch([scenario], store=store)
+        assert store.get(scenario) is not None
+
+        changed_code = ResultStore(tmp_path, token="f" * 64)
+        assert changed_code.get(scenario) is None
+        # ... and the two tokens' entries coexist without clobbering.
+        run_batch([scenario], store=changed_code)
+        assert changed_code.get(scenario) is not None
+        assert ResultStore(tmp_path).get(scenario) is not None
+
+    def test_corrupted_entry_is_a_miss_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = _scenario()
+        run_batch([scenario], store=store)
+        [entry] = list((tmp_path / store.token[:16]).glob("*.pkl"))
+
+        entry.write_bytes(b"not a pickle")
+        assert store.get(scenario) is None
+
+        # A truncated (partially written) pickle is also just a miss.
+        good = pickle.dumps({"version": 1})
+        entry.write_bytes(good[: len(good) // 2])
+        assert store.get(scenario) is None
+
+        # Wrong payload shape unpickles fine but is rejected.
+        entry.write_bytes(pickle.dumps(["wrong", "shape"]))
+        assert store.get(scenario) is None
+
+        # The store recovers by overwriting the bad entry.
+        refreshed = run_batch([scenario], store=store)[0]
+        assert store.get(scenario) is not None
+        assert pickle.dumps(store.get(scenario).result) == pickle.dumps(
+            refreshed.result
+        )
+
+    def test_uncacheable_scenarios_bypass_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = Scenario(
+            scheduler="eva",
+            trace=TraceSpec.make("small-physical", seed=0),
+            delay_model=DelayModel(stochastic=True, rng=np.random.default_rng(0)),
+        )
+        outcome = run_batch([scenario], store=store)[0]
+        assert outcome.result.num_jobs > 0
+        # counted once per lookup — the paired put() must not double it
+        assert store.stats.uncacheable == 1
+        assert store.stats.stores == 0
+        assert len(store) == 0
+
+    def test_code_token_is_stable_and_hexadecimal(self):
+        assert code_token() == code_token()
+        assert len(code_token()) == 64
+        int(code_token(), 16)
+
+
+class TestMultiSeedAggregation:
+    def test_mean_std_matches_hand_computed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        seeds = (0, 1, 2)
+        trials = run_trials([_scenario()], seeds, store=store)
+        [aggregate] = trials.aggregates
+
+        by_hand = [
+            run_batch([_scenario(seed=s)])[0].result.total_cost for s in seeds
+        ]
+        stats = aggregate.total_cost
+        assert stats.values == tuple(by_hand)
+        assert stats.mean == pytest.approx(statistics.fmean(by_hand))
+        assert stats.std == pytest.approx(statistics.pstdev(by_hand))
+
+    def test_trials_share_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_trials([_scenario()], (0, 1), store=store)
+        assert store.stats.as_dict() == {
+            "hits": 0,
+            "misses": 2,
+            "stores": 2,
+            "uncacheable": 0,
+        }
+        run_trials([_scenario()], (0, 1), store=store)
+        assert store.stats.misses == 2  # second pass re-simulated nothing
+        assert store.stats.hits == 2
+
+    def test_normalized_cost_is_per_seed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        trials = run_trials(
+            [_scenario(name="No-Packing", scheduler="no-packing"), _scenario()],
+            (0, 1),
+            store=store,
+        )
+        baseline, eva = trials.aggregates
+        norm = eva.normalized_cost(baseline)
+        expected = [
+            e.result.total_cost / b.result.total_cost
+            for e, b in zip(eva.outcomes, baseline.outcomes)
+        ]
+        assert norm.values == pytest.approx(tuple(expected))
+
+    def test_metric_stats_basics(self):
+        single = MetricStats.of([2.0])
+        assert (single.mean, single.std) == (2.0, 0.0)
+        assert f"{MetricStats.of([1.0, 3.0]):.1f}" == "2.0 ± 1.0"
+        with pytest.raises(ValueError):
+            MetricStats.of([])
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials([_scenario()], (1, 1))
+        with pytest.raises(ValueError):
+            run_trials([_scenario()], ())
