@@ -1,8 +1,17 @@
 """Shared machinery for the reactive baseline schedulers (§6.1).
 
 All four baselines are *reactive*: they keep every existing assignment,
-place newly arrived (queued) tasks each round, and never migrate.  The
+place newly arrived (queued) tasks each round, and never migrate (the
+right-sizing adaptation in Synergy/Owl being the one exception).  The
 differences live entirely in :meth:`ReactiveScheduler.choose_placement`.
+
+Baselines speak the legacy snapshot→target contract; the default
+:meth:`~repro.core.interfaces.Scheduler.decide` routes them through the
+:func:`~repro.core.protocol.diff_target` shim.  Each concrete baseline
+declares its action vocabulary
+(:attr:`~repro.core.interfaces.Scheduler.action_types`), which makes
+"never migrates" a machine-checked contract: environments in validate
+mode reject any decision that strays outside it.
 """
 
 from __future__ import annotations

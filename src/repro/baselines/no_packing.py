@@ -14,12 +14,16 @@ from repro.cluster.instance import InstanceType
 from repro.cluster.state import ClusterSnapshot
 from repro.cluster.task import Task
 from repro.baselines.base import OpenInstance, ReactiveScheduler
+from repro.core.protocol import AssignTask, LaunchInstance
 
 
 class NoPackingScheduler(ReactiveScheduler):
     """One task per instance, on the task's reservation-price type."""
 
     name = "No-Packing"
+
+    #: Strictly reactive: launches and first placements only.
+    action_types = frozenset({LaunchInstance, AssignTask})
 
     def __init__(self, catalog: Sequence[InstanceType]):
         super().__init__(catalog)

@@ -17,6 +17,12 @@ from repro.cluster.instance import InstanceType, fresh_instance
 from repro.cluster.state import ClusterSnapshot, TargetConfiguration
 from repro.cluster.task import Task
 from repro.core.interfaces import Scheduler
+from repro.core.protocol import (
+    AssignTask,
+    LaunchInstance,
+    MigrateTask,
+    TerminateInstance,
+)
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.interference.model import InterferenceModel
 from repro.baselines.base import OpenInstance
@@ -30,6 +36,13 @@ class OwlScheduler(Scheduler):
     """Profile-driven pairwise packing, ranked by cost-efficiency."""
 
     name = "Owl"
+
+    #: Pairwise placement plus the right-sizing adaptation (see
+    #: :meth:`schedule`), which migrates stranded tasks off
+    #: no-longer-worthwhile instances and terminates them.
+    action_types = frozenset(
+        {LaunchInstance, AssignTask, MigrateTask, TerminateInstance}
+    )
 
     def __init__(
         self,

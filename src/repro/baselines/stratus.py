@@ -27,6 +27,7 @@ from repro.cluster.instance import InstanceType, fresh_instance
 from repro.cluster.state import ClusterSnapshot, TargetConfiguration
 from repro.cluster.task import Task
 from repro.core.interfaces import Scheduler
+from repro.core.protocol import AssignTask, LaunchInstance
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.baselines.base import OpenInstance
 
@@ -45,6 +46,10 @@ class StratusScheduler(Scheduler):
     """Runtime-binned packing with group-aware scale-out, no migrations."""
 
     name = "Stratus"
+
+    #: "Stratus never migrates" as a machine-checked contract: its
+    #: decisions may only launch instances and place queued tasks.
+    action_types = frozenset({LaunchInstance, AssignTask})
 
     def __init__(self, catalog: Sequence[InstanceType]):
         self.catalog = [it for it in catalog if not it.is_ghost]

@@ -27,6 +27,12 @@ from repro.cluster.task import Task
 from repro.core.evaluation import TNRPEvaluator
 from repro.core.interfaces import JobThroughputReport
 from repro.core.monitor import ThroughputMonitor
+from repro.core.protocol import (
+    AssignTask,
+    LaunchInstance,
+    MigrateTask,
+    TerminateInstance,
+)
 from repro.baselines.base import OpenInstance, ReactiveScheduler
 
 
@@ -34,6 +40,12 @@ class SynergyScheduler(ReactiveScheduler):
     """Best-fit packing with a TNRP admission check and right-sizing."""
 
     name = "Synergy"
+
+    #: Reactive placement plus the right-sizing adaptation, which
+    #: re-places stranded tasks (migrations) and drops their instances.
+    action_types = frozenset(
+        {LaunchInstance, AssignTask, MigrateTask, TerminateInstance}
+    )
 
     def __init__(self, catalog: Sequence[InstanceType], default_tput: float = 0.95):
         super().__init__(catalog)

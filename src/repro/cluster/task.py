@@ -101,6 +101,11 @@ class Job:
             job.  Total work per task equals this duration; interference
             stretches wall-clock time proportionally.
         workload: Workload name shared by the tasks.
+        deadline_hours: Optional completion SLO, measured from arrival.
+            Jobs that carry one trigger
+            :class:`~repro.core.protocol.DeadlineApproaching`
+            observations as the deadline nears; ``None`` (the default)
+            means no SLO.
     """
 
     job_id: str
@@ -108,12 +113,15 @@ class Job:
     arrival_time_s: float
     duration_hours: float
     workload: str
+    deadline_hours: float | None = None
 
     def __post_init__(self) -> None:
         if not self.tasks:
             raise ValueError(f"job {self.job_id} has no tasks")
         if self.duration_hours <= 0:
             raise ValueError(f"job {self.job_id} duration must be > 0")
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ValueError(f"job {self.job_id} deadline must be > 0")
         for task in self.tasks:
             if task.job_id != self.job_id:
                 raise ValueError(
@@ -146,6 +154,7 @@ def make_job(
     num_tasks: int = 1,
     migration: MigrationDelays | None = None,
     job_id: str | None = None,
+    deadline_hours: float | None = None,
 ) -> Job:
     """Convenience constructor building a job with ``num_tasks`` identical tasks."""
     jid = job_id if job_id is not None else f"job-{next(_job_counter):05d}"
@@ -166,4 +175,5 @@ def make_job(
         arrival_time_s=arrival_time_s,
         duration_hours=duration_hours,
         workload=workload,
+        deadline_hours=deadline_hours,
     )

@@ -44,12 +44,38 @@ from repro.core.partial_reconfig import (
     PartialReconfigResult,
     partial_reconfiguration,
 )
+from repro.core.protocol import (
+    Action,
+    AssignTask,
+    ClusterEnvironment,
+    DeadlineApproaching,
+    Decision,
+    JobArrived,
+    JobFinished,
+    LaunchInstance,
+    MigrateTask,
+    Observation,
+    ProtocolError,
+    SpotEvictionNotice,
+    TerminateInstance,
+    ThroughputReport,
+    UnassignTask,
+    count_job_events,
+    diff_target,
+    replay_decision,
+    throughput_reports,
+)
 from repro.core.reservation_price import (
     InfeasibleTaskError,
     ReservationPriceCalculator,
     no_packing_cost,
 )
-from repro.core.scheduler import EvaConfig, EvaScheduler, make_eva_variant
+from repro.core.scheduler import (
+    EvaConfig,
+    EvaScheduler,
+    EvictionAwareEvaScheduler,
+    make_eva_variant,
+)
 from repro.core.throughput_table import (
     DEFAULT_PAIRWISE_TPUT,
     CoLocationThroughputTable,
@@ -146,6 +172,11 @@ def _eva_variant_factory(variant: str) -> SchedulerFactoryFn:
     return factory
 
 
+def _make_eviction_aware(catalog, interference=None, delay_model=None) -> Scheduler:
+    return EvictionAwareEvaScheduler(catalog, delay_model=delay_model)
+
+
+register_scheduler("eva-eviction-aware", _make_eviction_aware)
 register_scheduler("no-packing", _make_no_packing)
 register_scheduler("stratus", _make_stratus)
 register_scheduler("synergy", _make_synergy)
@@ -195,7 +226,27 @@ __all__ = [
     "no_packing_cost",
     "EvaConfig",
     "EvaScheduler",
+    "EvictionAwareEvaScheduler",
     "make_eva_variant",
+    "Action",
+    "AssignTask",
+    "ClusterEnvironment",
+    "DeadlineApproaching",
+    "Decision",
+    "JobArrived",
+    "JobFinished",
+    "LaunchInstance",
+    "MigrateTask",
+    "Observation",
+    "ProtocolError",
+    "SpotEvictionNotice",
+    "TerminateInstance",
+    "ThroughputReport",
+    "UnassignTask",
+    "count_job_events",
+    "diff_target",
+    "replay_decision",
+    "throughput_reports",
     "DEFAULT_PAIRWISE_TPUT",
     "CoLocationThroughputTable",
     "TaskPlacementObservation",

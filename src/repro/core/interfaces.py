@@ -1,11 +1,24 @@
 """Scheduler interface and throughput-report types.
 
-Every scheduler — Eva and the four baselines — implements the same
-contract: consume a :class:`~repro.cluster.state.ClusterSnapshot`, return a
-:class:`~repro.cluster.state.TargetConfiguration`.  Interference-aware
-schedulers additionally receive per-job throughput reports collected by the
-workers (§5: the worker queries each job's ``EvaIterator`` and reports to
-the master every scheduling round).
+Every scheduler — Eva and the four baselines — drives the cluster
+through the typed action/observation protocol
+(:mod:`repro.core.protocol`): each round it receives a
+:class:`~repro.cluster.state.ClusterSnapshot` plus the round's typed
+observations and returns a :class:`~repro.core.protocol.Decision` (an
+ordered action bundle).  Legacy schedulers keep implementing the
+classic §3 contract — snapshot in,
+:class:`~repro.cluster.state.TargetConfiguration` out — via
+:meth:`Scheduler.schedule`; the default :meth:`Scheduler.decide` routes
+them through the :func:`~repro.core.protocol.diff_target` shim, which
+is byte-identical to the pre-protocol apply paths.  Protocol-native
+policies override :meth:`decide` (or the :meth:`observe` hook) and emit
+actions directly.
+
+Interference-aware schedulers receive per-job throughput reports (§5:
+the worker queries each job's ``EvaIterator`` and reports to the master
+every scheduling round) — on the wire these are
+:class:`~repro.core.protocol.ThroughputReport` observations, unwrapped
+by the default ``decide`` into :meth:`Scheduler.on_throughput_reports`.
 """
 
 from __future__ import annotations
@@ -14,6 +27,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.cluster.state import ClusterSnapshot, TargetConfiguration
+from repro.core.protocol import (
+    Decision,
+    Observation,
+    diff_target,
+    throughput_reports,
+)
 from repro.core.throughput_table import TaskPlacementObservation
 
 
@@ -40,10 +59,24 @@ class JobThroughputReport:
 
 
 class Scheduler(ABC):
-    """Snapshot-in, target-configuration-out scheduling contract (§3)."""
+    """The scheduling contract (§3), spoken over the typed protocol.
+
+    Implement :meth:`schedule` (legacy: whole target configuration) or
+    override :meth:`decide` (protocol-native: ordered actions).  The
+    environment — simulator or runtime master — only ever calls
+    :meth:`decide`.
+    """
 
     #: Human-readable name used in reports and experiment tables.
     name: str = "scheduler"
+
+    #: Action vocabulary this scheduler's decisions may contain, or
+    #: ``None`` for unconstrained.  Declaring it makes behavioural
+    #: contracts machine-checkable (e.g. "reactive baselines never
+    #: migrate"): every environment passes it to
+    #: :meth:`~repro.core.protocol.Decision.validate` — the runtime
+    #: master on every round, the simulator in validate mode.
+    action_types: frozenset[type] | None = None
 
     @abstractmethod
     def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
@@ -52,3 +85,28 @@ class Scheduler(ABC):
     def on_throughput_reports(self, reports: tuple[JobThroughputReport, ...]) -> None:
         """Ingest throughput observations (no-op for interference-blind
         schedulers)."""
+
+    def observe(self, observations: tuple[Observation, ...]) -> None:
+        """Ingest the round's non-throughput observations (default: ignore).
+
+        Hook for policies that react to typed events — job arrivals and
+        completions, spot eviction notices, deadline warnings — without
+        overriding :meth:`decide` wholesale.
+        """
+
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        observations: tuple[Observation, ...] = (),
+    ) -> Decision:
+        """One scheduling round: observations in, action bundle out.
+
+        The default implementation preserves the legacy call sequence
+        exactly — throughput reports first, then :meth:`schedule` — and
+        plans the returned target through
+        :func:`~repro.core.protocol.diff_target`, so legacy schedulers
+        produce byte-identical results through the protocol path.
+        """
+        self.on_throughput_reports(throughput_reports(observations))
+        self.observe(observations)
+        return diff_target(snapshot, self.schedule(snapshot))

@@ -44,6 +44,15 @@ from repro.core.full_reconfig import (
 from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.monitor import ThroughputMonitor
 from repro.core.partial_reconfig import partial_reconfiguration
+from repro.core.protocol import (
+    AssignTask,
+    LaunchInstance,
+    MigrateTask,
+    Observation,
+    SpotEvictionNotice,
+    TerminateInstance,
+    count_job_events,
+)
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.core.throughput_table import CoLocationThroughputTable
 
@@ -90,6 +99,12 @@ def _to_target(packed: Sequence[PackedInstance]) -> TargetConfiguration:
 class EvaScheduler(Scheduler):
     """The Eva cluster scheduler."""
 
+    #: Eva launches, places, migrates, and terminates — it never returns
+    #: a task to the queue without a new placement.
+    action_types = frozenset(
+        {LaunchInstance, AssignTask, MigrateTask, TerminateInstance}
+    )
+
     def __init__(
         self,
         catalog: Sequence[InstanceType],
@@ -109,6 +124,11 @@ class EvaScheduler(Scheduler):
         self._pack_memo = PackMemo()
         self.name = name or self._default_name()
         self._known_job_ids: set[str] = set()
+        #: Arrival/completion count accumulated from the observation
+        #: channel; ``None`` until the first :meth:`observe` call, after
+        #: which the channel (not snapshot diffing) drives the D̂
+        #: estimator.
+        self._pending_job_events: int | None = None
         self.last_decision: ReconfigDecision | None = None
 
     def _default_name(self) -> str:
@@ -127,6 +147,21 @@ class EvaScheduler(Scheduler):
     # ------------------------------------------------------------------
     def on_throughput_reports(self, reports: tuple[JobThroughputReport, ...]) -> None:
         self.monitor.ingest(reports)
+
+    def observe(self, observations: tuple[Observation, ...]) -> None:
+        """Count arrival/completion events for the §4.5 D̂ estimator.
+
+        Once the environment speaks the observation channel, the typed
+        :class:`~repro.core.protocol.JobArrived`/:class:`~repro.core.protocol.JobFinished`
+        events drive ``record_events`` directly; the legacy fallback in
+        :meth:`_track_events` (diffing job-id sets between snapshots)
+        only remains for direct ``schedule()`` callers.
+        """
+        count = count_job_events(observations)
+        if self._pending_job_events is None:
+            self._pending_job_events = count
+        else:
+            self._pending_job_events += count
 
     def make_evaluator(self, snapshot: ClusterSnapshot) -> AssignmentEvaluator:
         if not self.config.interference_aware:
@@ -209,11 +244,25 @@ class EvaScheduler(Scheduler):
     # Event tracking for the D̂ estimator
     # ------------------------------------------------------------------
     def _track_events(self, snapshot: ClusterSnapshot) -> None:
-        job_ids = set(snapshot.jobs)
-        arrivals = len(job_ids - self._known_job_ids)
-        completions = len(self._known_job_ids - job_ids)
-        self.policy.record_events(arrivals + completions, snapshot.time_s)
-        self._known_job_ids = job_ids
+        """Feed arrivals + completions into the Poisson event estimator.
+
+        Preferred source is the typed observation channel (see
+        :meth:`observe`); both sources count identically — every job
+        arrival/completion is observed exactly once by the scheduler —
+        which the byte-identical golden-digest matrix pins down.
+        """
+        if self._pending_job_events is not None:
+            count = self._pending_job_events
+            self._pending_job_events = 0
+        else:
+            # Legacy fallback for direct schedule() callers that bypass
+            # decide(): infer events by diffing live job ids.
+            job_ids = set(snapshot.jobs)
+            count = len(job_ids - self._known_job_ids) + len(
+                self._known_job_ids - job_ids
+            )
+            self._known_job_ids = job_ids
+        self.policy.record_events(count, snapshot.time_s)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -228,6 +277,78 @@ class EvaScheduler(Scheduler):
             catalog=self.catalog,
             config=replace(self.config, **overrides),
             delay_model=self.delay_model,
+        )
+
+
+class EvictionAwareEvaScheduler(EvaScheduler):
+    """Eva extended to react to spot eviction notices (§7 extension).
+
+    A protocol-native policy: it consumes
+    :class:`~repro.core.protocol.SpotEvictionNotice` observations through
+    the :meth:`observe` hook and treats noticed instances as *doomed* —
+    they are hidden from the packing snapshot, so their tasks are
+    re-placed (migrated with their checkpointed progress intact, while
+    the instance is still up) and the doomed instances are terminated
+    ahead of the market reclaiming them.  Compared to riding out the
+    preemption, tasks skip the queued-until-next-round gap and the
+    cluster stops paying for capacity it is about to lose.
+
+    Without notices (``SpotConfig.notice_s == 0``, or on-demand runs)
+    no :meth:`observe` call ever records one, and the policy is
+    behaviourally identical to :class:`EvaScheduler`.
+    """
+
+    def __init__(
+        self,
+        catalog: Sequence[InstanceType],
+        config: EvaConfig | None = None,
+        delay_model: DelayModel | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(
+            catalog,
+            config=config,
+            delay_model=delay_model,
+            name=name or "Eva-Eviction-Aware",
+        )
+        #: instance id -> promised eviction time, pruned against each
+        #: snapshot (a notice may outlive its instance).
+        self._eviction_notices: dict[str, float] = {}
+
+    def observe(self, observations: tuple[Observation, ...]) -> None:
+        super().observe(observations)
+        for obs in observations:
+            if isinstance(obs, SpotEvictionNotice):
+                self._eviction_notices[obs.instance_id] = obs.eviction_time_s
+
+    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+        live_ids = {state.instance_id for state in snapshot.instances}
+        self._eviction_notices = {
+            iid: t for iid, t in self._eviction_notices.items() if iid in live_ids
+        }
+        if self._eviction_notices:
+            snapshot = self._without_doomed(snapshot)
+        return super().schedule(snapshot)
+
+    def _without_doomed(self, snapshot: ClusterSnapshot) -> ClusterSnapshot:
+        """The snapshot with doomed instances hidden from packing.
+
+        Their tasks become unassigned (re-placed by partial reconfig,
+        repacked from scratch by full reconfig) and
+        ``match_existing_instances`` cannot keep a doomed id, so the
+        planned decision migrates the tasks off and terminates the
+        instance — the drain emerges from the ordinary packing path.
+        """
+        doomed = self._eviction_notices
+        return ClusterSnapshot(
+            time_s=snapshot.time_s,
+            tasks=snapshot.tasks,
+            jobs=snapshot.jobs,
+            instances=tuple(
+                state
+                for state in snapshot.instances
+                if state.instance_id not in doomed
+            ),
         )
 
 

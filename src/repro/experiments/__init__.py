@@ -26,6 +26,7 @@ from repro.experiments import (
     fig06_workload_mix,
     fig07_multitask_sweep,
     fig08_arrival_rate,
+    spot_eviction,
     table01_delays,
     table04_microbench,
     table05_runtime,
@@ -52,6 +53,7 @@ __all__ = [
     "fig06_workload_mix",
     "fig07_multitask_sweep",
     "fig08_arrival_rate",
+    "spot_eviction",
     "table01_delays",
     "table04_microbench",
     "table05_runtime",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments run all                   # run everything (slow)
     python -m repro.experiments run table11 --seeds 5     # mean ± std trials
     python -m repro.experiments run table11 --cache-dir .eva-cache
+    python -m repro.experiments run all --dry-run --cache-dir .eva-cache
     python -m repro.experiments run table13 --format json --output out.json
     python -m repro.experiments report out.json           # re-render a run
     python -m repro.experiments table13                   # shorthand for run
@@ -19,6 +20,12 @@ Options (run):
   (data tables, timing micro-benchmarks) ignore this.
 * ``--cache-dir DIR`` — persistent result cache; re-runs with the same
   directory re-simulate nothing (content-addressed, code-token keyed).
+* ``--dry-run`` — print the scenario grid (labels + fingerprints) and,
+  with ``--cache-dir``, each cell's cache hit/miss status, without
+  simulating anything.  Honours ``--seeds`` (shows the expanded
+  scenario × seed product) and ``--param``; direct experiments have no
+  grid and are reported as such.  Text-only: combining it with
+  ``--format``/``--output`` is rejected.
 * ``--format {text,json,csv}`` — stdout format.
 * ``--output FILE`` — also write the JSON run record (any format).
 * ``--workers N`` — process fan-out (default: ``EVA_BENCH_WORKERS``).
@@ -85,6 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run grid experiments across N seeds and report mean ± std",
     )
     run_parser.add_argument("--cache-dir", default=None)
+    run_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the scenario grid and cache status without simulating",
+    )
     run_parser.add_argument(
         "--format", choices=("text", "json", "csv"), default="text"
     )
@@ -179,6 +191,69 @@ def _print_run(payload: dict, fmt: str) -> None:
     print(f"[{payload['id']} finished in {payload['elapsed_s']:.1f}s]\n")
 
 
+def _dry_run_grid(
+    spec: Any,
+    ctx: "ExperimentContext",
+    seeds: tuple[int, ...] | None,
+    store: Any,
+) -> None:
+    """Print one grid experiment's planned scenarios and cache status."""
+    from repro.sim.batch import reseed
+    from repro.sim.fingerprint import FingerprintError
+
+    grid = spec.build(ctx)
+    scenarios = grid.scenarios
+    if seeds is not None and spec.multi_seed:
+        cells = [
+            reseed(scenario, seed) for scenario in scenarios for seed in seeds
+        ]
+        shape = f"{len(scenarios)} scenario(s) x {len(seeds)} seed(s)"
+    else:
+        cells = scenarios
+        shape = f"{len(scenarios)} scenario(s)"
+    print(f"{spec.id}: {shape}")
+    for scenario in cells:
+        try:
+            fp = scenario.fingerprint()[:16]
+        except FingerprintError:
+            fp = "-" * 16
+        status = store.probe(scenario) if store is not None else "-"
+        print(f"  {fp}  {status:<11}  {scenario.label}")
+
+
+def _cmd_dry_run(
+    names: Sequence[str],
+    args: argparse.Namespace,
+    store: Any,
+    seeds: tuple[int, ...] | None,
+    params: dict,
+) -> int:
+    for name in names:
+        spec = get_experiment(name)
+        if spec.kind != "grid":
+            print(f"{name}: direct experiment — no scenario grid to plan")
+            print()
+            continue
+        ctx = ExperimentContext(
+            seed=args.seed,
+            seeds=seeds,
+            store=store,
+            workers=args.workers,
+            params=params,
+        )
+        _dry_run_grid(spec, ctx, seeds, store)
+        print()
+    if store is not None:
+        stats = store.stats
+        total = stats.hits + stats.misses
+        print(
+            f"[cache] hits={stats.hits}/{total} misses={stats.misses} "
+            f"uncacheable={stats.uncacheable} "
+            f"(code token {store.token[:16]})"
+        )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         names = _resolve_ids(args.ids)
@@ -187,6 +262,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.seeds is not None and args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.dry_run and (args.format != "text" or args.output is not None):
+        print(
+            "--dry-run prints a text plan only; it cannot be combined "
+            "with --format or --output",
+            file=sys.stderr,
+        )
         return 2
 
     store = None
@@ -200,6 +282,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else None
     )
     params = dict(args.param)
+
+    if args.dry_run:
+        return _cmd_dry_run(names, args, store, seeds, params)
 
     runs: list[ExperimentRun] = []
     for name in names:

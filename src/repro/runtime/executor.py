@@ -1,10 +1,12 @@
 """Executor component (§3).
 
-Translates task-level deltas of a target configuration into worker RPCs:
-start tasks that got their first placement, and migrate tasks whose
-instance changed (checkpoint on the source worker, restore on the
-destination).  The Executor is deliberately stateless between calls — the
-authoritative assignment lives in the master's view of the cluster.
+Executes task-level actions of the typed protocol
+(:mod:`repro.core.protocol`) through worker RPCs: start tasks that got
+their first placement, migrate tasks whose instance changed (checkpoint
+on the source worker, restore on the destination), and unassign tasks
+back to the queue (checkpoint, then tear down the container).  The
+Executor is deliberately stateless between calls — the authoritative
+assignment lives in the master's view of the cluster.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from repro.runtime.rpc import RpcBus
 class ExecutorStats:
     placements: int = 0
     migrations: int = 0
+    unassignments: int = 0
 
 
 @dataclass
@@ -41,6 +44,13 @@ class Executor:
         self.bus.call(src.service_name, "checkpoint_task", task_id=task.task_id)
         self._launch_on(task, dst_instance_id)
         self.stats.migrations += 1
+
+    def unassign_task(self, task: Task, instance_id: str) -> None:
+        """Checkpoint a task and return it to the queue (no new placement)."""
+        worker = self.provisioner.worker_of(instance_id)
+        self.bus.call(worker.service_name, "checkpoint_task", task_id=task.task_id)
+        self.bus.call(worker.service_name, "remove_task", task_id=task.task_id)
+        self.stats.unassignments += 1
 
     def remove_task(self, task_id: str, instance_id: str) -> None:
         """Tear down a completed task's container."""

@@ -1,8 +1,11 @@
 """Eva master (§3, §5).
 
 The master is the deployment's control plane: it accepts job submissions,
-runs the Scheduler every period, and drives the Provisioner and Executor
-to realize the chosen configuration.  This in-process implementation uses
+runs the Scheduler every period through the typed action/observation
+protocol (:mod:`repro.core.protocol`), and executes the resulting action
+stream through the Provisioner and Executor via the same
+:class:`~repro.core.protocol.ClusterEnvironment` interpreter the
+simulator uses.  This in-process implementation uses
 logical time (callers alternate :meth:`advance` and :meth:`run_round`),
 which keeps it deterministic and directly testable; the discrete-event
 simulator (:mod:`repro.sim`) is the tool for delay-accurate evaluation,
@@ -18,19 +21,70 @@ from typing import Sequence
 
 from repro.cloud.provider import SimulatedCloud
 from repro.cluster.instance import InstanceType
-from repro.cluster.state import (
-    ClusterSnapshot,
-    InstanceState,
-    diff_configuration,
-)
-from repro.cluster.task import Job
+from repro.cluster.state import ClusterSnapshot, InstanceState
+from repro.cluster.task import Job, Task
 from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.protocol import (
+    AssignTask,
+    ClusterEnvironment,
+    JobArrived,
+    JobFinished,
+    LaunchInstance,
+    MigrateTask,
+    Observation,
+    TerminateInstance,
+    ThroughputReport,
+    UnassignTask,
+)
 from repro.core.throughput_table import TaskPlacementObservation
 from repro.interference.model import InterferenceModel
 from repro.runtime.container import GlobalStorage
 from repro.runtime.executor import Executor
 from repro.runtime.provisioner import Provisioner
 from repro.runtime.rpc import RpcBus
+
+
+class _RuntimeEnvironment(ClusterEnvironment):
+    """RPC-backed backend of the action protocol.
+
+    Implements the five primitives against the live deployment —
+    Provisioner launches/terminations, Executor worker RPCs — and
+    inherits the shared action interpreter from
+    :class:`~repro.core.protocol.ClusterEnvironment`, so the master and
+    the simulator execute the *same* canonical action streams with no
+    duplicated apply logic.
+    """
+
+    def __init__(self, master: "EvaMaster"):
+        self._master = master
+
+    def launch_instance(self, action: LaunchInstance) -> None:
+        master = self._master
+        master.provisioner.launch(action.instance, master.now_s)
+
+    def assign_task(self, action: AssignTask) -> None:
+        master = self._master
+        task = master.task_of(action.task_id)
+        master.executor.place_task(task, action.instance_id)
+        master._assignment[action.task_id] = action.instance_id
+
+    def migrate_task(self, action: MigrateTask) -> None:
+        master = self._master
+        task = master.task_of(action.task_id)
+        master.executor.migrate_task(
+            task, action.src_instance_id, action.dst_instance_id
+        )
+        master._assignment[action.task_id] = action.dst_instance_id
+
+    def unassign_task(self, action: UnassignTask) -> None:
+        master = self._master
+        task = master.task_of(action.task_id)
+        master.executor.unassign_task(task, action.instance_id)
+        master._assignment.pop(action.task_id, None)
+
+    def terminate_instance(self, action: TerminateInstance) -> None:
+        master = self._master
+        master.provisioner.terminate(action.instance_id, master.now_s)
 
 
 @dataclass
@@ -66,10 +120,14 @@ class EvaMaster:
         )
         self.executor = Executor(bus=self.bus, provisioner=self.provisioner)
         self._jobs: dict[str, Job] = {}
+        self._task_index: dict[str, Task] = {}
         self._submit_times: dict[str, float] = {}
         self._assignment: dict[str, str] = {}  # task_id -> instance_id
         self.completed: list[CompletedJob] = []
         self.rounds_run = 0
+        self._env = _RuntimeEnvironment(self)
+        #: Typed observations accumulated since the last scheduling round.
+        self._pending_obs: list[Observation] = []
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -79,10 +137,17 @@ class EvaMaster:
         if job.job_id in self._jobs:
             raise ValueError(f"job {job.job_id} already submitted")
         self._jobs[job.job_id] = job
+        for task in job.tasks:
+            self._task_index[task.task_id] = task
         self._submit_times[job.job_id] = self.now_s
+        self._pending_obs.append(JobArrived(job_id=job.job_id, time_s=self.now_s))
 
     def live_jobs(self) -> list[Job]:
         return [self._jobs[jid] for jid in sorted(self._jobs)]
+
+    def task_of(self, task_id: str) -> Task:
+        """The live task with ``task_id`` (actions resolve ids through this)."""
+        return self._task_index[task_id]
 
     # ------------------------------------------------------------------
     # Control loop
@@ -97,12 +162,18 @@ class EvaMaster:
         self._collect_completions()
 
     def run_round(self) -> None:
-        """One scheduling round: report throughputs, schedule, apply."""
+        """One scheduling round: observations in, decision out, execute.
+
+        The scheduler is driven exclusively through the typed protocol
+        (:meth:`~repro.core.interfaces.Scheduler.decide`); the returned
+        action stream is validated and executed by the same
+        :class:`~repro.core.protocol.ClusterEnvironment` interpreter the
+        simulator uses.
+        """
         snapshot = self._snapshot()
-        self.scheduler.on_throughput_reports(self._reports())
-        target = self.scheduler.schedule(snapshot)
-        target.validate(snapshot)
-        self._apply(snapshot, target)
+        decision = self.scheduler.decide(snapshot, self._observations())
+        decision.validate(snapshot, allowed_actions=self.scheduler.action_types)
+        self._env.execute(decision)
         self.rounds_run += 1
 
     def run_for(self, hours: float) -> None:
@@ -117,10 +188,15 @@ class EvaMaster:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _observations(self) -> tuple[Observation, ...]:
+        """Drain pending job events and append throughput reports."""
+        observations = self._pending_obs
+        self._pending_obs = []
+        observations.extend(ThroughputReport(r) for r in self._reports())
+        return tuple(observations)
+
     def _snapshot(self) -> ClusterSnapshot:
-        tasks = {
-            t.task_id: t for job in self._jobs.values() for t in job.tasks
-        }
+        tasks = dict(self._task_index)
         instances = []
         for iid in self.provisioner.active_instance_ids():
             worker = self.provisioner.worker_of(iid)
@@ -167,29 +243,11 @@ class EvaMaster:
         if iid is None:
             return []
         worker = self.provisioner.worker_of(iid)
-        task_index = {
-            t.task_id: t for job in self._jobs.values() for t in job.tasks
-        }
         return sorted(
-            task_index[tid].workload
+            self._task_index[tid].workload
             for tid in worker.hosted_task_ids()
-            if tid != task_id and tid in task_index
+            if tid != task_id and tid in self._task_index
         )
-
-    def _apply(self, snapshot: ClusterSnapshot, target) -> None:
-        diff = diff_configuration(snapshot, target)
-        for ti in diff.launches:
-            self.provisioner.launch(ti, self.now_s)
-        task_index = snapshot.tasks
-        for task_id, src, dst in diff.migrations:
-            task = task_index[task_id]
-            if src is None:
-                self.executor.place_task(task, dst)
-            else:
-                self.executor.migrate_task(task, src, dst)
-            self._assignment[task_id] = dst
-        for iid in diff.terminations:
-            self.provisioner.terminate(iid, self.now_s)
 
     def _collect_completions(self) -> None:
         for job in list(self.live_jobs()):
@@ -209,6 +267,7 @@ class EvaMaster:
             for task in job.tasks:
                 iid = self._assignment.pop(task.task_id)
                 self.executor.remove_task(task.task_id, iid)
+                del self._task_index[task.task_id]
                 worker = self.provisioner.worker_of(iid)
                 if not worker.hosted_task_ids():
                     self.provisioner.terminate(iid, self.now_s)
@@ -220,6 +279,9 @@ class EvaMaster:
                 )
             )
             del self._jobs[job.job_id]
+            self._pending_obs.append(
+                JobFinished(job_id=job.job_id, time_s=self.now_s)
+            )
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,8 +1,8 @@
 """Provisioner component (§3).
 
-Translates a target configuration's instance-level deltas into cloud
-operations: launch instances that are new in the target, terminate
-instances that dropped out.  Each launched instance gets a worker
+Executes instance-level actions of the typed protocol
+(:mod:`repro.core.protocol`): launch instances the decision adds,
+terminate instances it releases.  Each launched instance gets a worker
 registered on the RPC bus (in the real system, instance setup installs
 and starts the worker binary — the Table 1 "instance setup" delay).
 """
@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cloud.provider import LaunchReceipt, SimulatedCloud
-from repro.cluster.state import TargetInstance
+from repro.cluster.instance import Instance
 from repro.interference.model import InterferenceModel
 from repro.runtime.container import GlobalStorage
 from repro.runtime.rpc import RpcBus
@@ -30,10 +30,10 @@ class Provisioner:
     workers: dict[str, Worker] = field(default_factory=dict)
     ready_times: dict[str, float] = field(default_factory=dict)
 
-    def launch(self, target: TargetInstance, now_s: float) -> LaunchReceipt:
+    def launch(self, instance: Instance, now_s: float) -> LaunchReceipt:
         """Launch one instance and bring up its worker."""
         receipt = self.cloud.launch(
-            target.instance_type, now_s, instance=target.instance
+            instance.instance_type, now_s, instance=instance
         )
         worker = Worker(
             instance=receipt.instance,

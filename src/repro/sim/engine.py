@@ -28,7 +28,11 @@ class EventKind(IntEnum):
     JOB_FINISH = 2
     INSTANCE_PREEMPTION = 3
     INSTANCE_TERMINATE = 4
-    SCHEDULING_ROUND = 5
+    #: Spot-market advance warning (payload: (instance_id, eviction
+    #: time)); sorts before the round so a same-timestamp round already
+    #: observes the notice.
+    EVICTION_NOTICE = 5
+    SCHEDULING_ROUND = 6
 
 
 @dataclass(frozen=True, slots=True)

@@ -162,6 +162,24 @@ class ResultStore:
         outcome: ScenarioOutcome = entry["outcome"]
         return replace(outcome, scenario=scenario)
 
+    def probe(self, scenario: "Scenario") -> str:
+        """Cheap cache-status check: ``"hit"``, ``"miss"`` or ``"uncacheable"``.
+
+        Answers by fingerprint + entry existence without reading or
+        unpickling the entry, so dry runs over large grids stay fast;
+        counts into :attr:`stats` exactly like :meth:`get` would.  (A
+        corrupted entry probes as a hit but will still re-simulate at
+        run time — :meth:`get` treats it as a miss.)
+        """
+        fp = self._fingerprint(scenario)
+        if fp is None:
+            return "uncacheable"
+        if self._entry_path(fp).is_file():
+            self.stats.hits += 1
+            return "hit"
+        self.stats.misses += 1
+        return "miss"
+
     def put(self, scenario: "Scenario", outcome: "ScenarioOutcome") -> bool:
         """Store ``outcome`` under ``scenario``'s fingerprint.
 

@@ -24,14 +24,23 @@ import numpy as np
 
 from repro.cloud.delays import DelayModel
 from repro.cloud.provider import SimulatedCloud
-from repro.cluster.state import (
-    ClusterSnapshot,
-    InstanceState,
-    TargetConfiguration,
-    diff_configuration,
-)
+from repro.cluster.state import ClusterSnapshot, InstanceState
 from repro.cluster.task import Job, Task
 from repro.core.interfaces import JobThroughputReport, Scheduler
+from repro.core.protocol import (
+    AssignTask,
+    ClusterEnvironment,
+    DeadlineApproaching,
+    JobArrived,
+    JobFinished,
+    LaunchInstance,
+    MigrateTask,
+    Observation,
+    SpotEvictionNotice,
+    TerminateInstance,
+    ThroughputReport,
+    UnassignTask,
+)
 from repro.core.throughput_table import TaskPlacementObservation
 from repro.interference.model import InterferenceModel
 from repro.sim.accounting import ClusterAccounting
@@ -54,15 +63,29 @@ class SpotConfig:
     rate.  Preempted instances vanish; their tasks are checkpointed (the
     two-minute interruption notice suffices for the Table-7 checkpoint
     times) and return to the queue for the next scheduling round.
+
+    ``notice_s`` grants schedulers an *advance eviction warning*: that
+    many seconds before an instance is reclaimed, the simulator emits a
+    :class:`~repro.core.protocol.SpotEvictionNotice` observation and
+    arms a scheduling round, so eviction-aware policies can drain the
+    doomed instance while it is still running.  Notices are delivered
+    at scheduling rounds, so a notice window shorter than the period
+    may be observed too late to react; ``notice_s >= period_s`` makes
+    at least one reacting round certain.  ``0`` (the default) disables
+    notices and reproduces the classic no-warning spot market
+    byte-identically.
     """
 
     enabled: bool = False
     preemption_rate_per_hour: float = 0.05
     seed: int = 0
+    notice_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.enabled and self.preemption_rate_per_hour <= 0:
             raise ValueError("preemption rate must be positive when enabled")
+        if self.notice_s < 0:
+            raise ValueError("notice_s must be >= 0")
 
 _WORK_EPS = 1e-9
 
@@ -141,6 +164,160 @@ class SimulationError(RuntimeError):
     """Raised on internal inconsistencies or runaway simulations."""
 
 
+class _SimEnvironment(ClusterEnvironment):
+    """Simulator backend of the action protocol.
+
+    Implements the five primitives against the discrete-event state —
+    cloud ledger, runtime tables, delay-model draws, event queue — and
+    inherits the shared action interpreter from
+    :class:`~repro.core.protocol.ClusterEnvironment`.  Checkpoint holds
+    (a migrating task's source instance must stay up until its
+    checkpoint completes) are per-decision state, reset by
+    ``begin_decision``; the canonical action order guarantees every
+    migration off an instance precedes that instance's termination.
+    """
+
+    def __init__(self, sim: "ClusterSimulator"):
+        self._sim = sim
+        self._hold_until: dict[str, float] = {}
+
+    def begin_decision(self) -> None:
+        self._hold_until.clear()
+
+    def launch_instance(self, action: LaunchInstance) -> None:
+        sim = self._sim
+        instance = action.instance
+        receipt = sim.cloud.launch(
+            instance.instance_type,
+            sim.now_s,
+            instance=instance,
+            spot=sim.spot.enabled,
+        )
+        sim._instances[instance.instance_id] = _InstanceRT(
+            instance_state_instance=instance,
+            ready_time_s=receipt.ready_time_s,
+        )
+        sim._acct.instance_up(instance.instance_type)
+        if sim.spot.enabled:
+            lifetime_s = float(
+                sim._spot_rng.exponential(
+                    3600.0 / sim.spot.preemption_rate_per_hour
+                )
+            )
+            preempt_at = sim.now_s + lifetime_s
+            sim.queue.push(
+                Event(
+                    preempt_at,
+                    EventKind.INSTANCE_PREEMPTION,
+                    instance.instance_id,
+                )
+            )
+            if sim.spot.notice_s > 0:
+                sim.queue.push(
+                    Event(
+                        max(sim.now_s, preempt_at - sim.spot.notice_s),
+                        EventKind.EVICTION_NOTICE,
+                        (instance.instance_id, preempt_at),
+                    )
+                )
+
+    def assign_task(self, action: AssignTask) -> None:
+        sim = self._sim
+        sim._placements += 1
+        self._start_task(
+            sim._tasks[action.task_id],
+            action.instance_id,
+            checkpoint_done=sim.now_s,
+        )
+
+    def migrate_task(self, action: MigrateTask) -> None:
+        sim = self._sim
+        task_rt = sim._tasks[action.task_id]
+        task = task_rt.task
+        src_rt = sim._instances[action.src_instance_id]
+        src_rt.assigned.discard(action.task_id)
+        src_rt.invalidate()
+        if src_rt.alive:
+            sim._acct.task_unassigned(task, src_rt.instance.instance_type)
+        checkpoint = sim.delay_model.checkpoint_s(task.migration.checkpoint_s)
+        self._hold_until[action.src_instance_id] = max(
+            self._hold_until.get(action.src_instance_id, 0.0),
+            sim.now_s + checkpoint,
+        )
+        sim._migrations += 1
+        self._start_task(
+            task_rt,
+            action.dst_instance_id,
+            checkpoint_done=sim.now_s + checkpoint,
+        )
+
+    def unassign_task(self, action: UnassignTask) -> None:
+        sim = self._sim
+        task_rt = sim._tasks[action.task_id]
+        task = task_rt.task
+        src_rt = sim._instances[action.instance_id]
+        src_rt.assigned.discard(action.task_id)
+        src_rt.invalidate()
+        if src_rt.alive:
+            sim._acct.task_unassigned(task, src_rt.instance.instance_type)
+        # The checkpoint keeps the task's progress; the source must stay
+        # up (and billed) until it completes, like a migration's source.
+        checkpoint = sim.delay_model.checkpoint_s(task.migration.checkpoint_s)
+        self._hold_until[action.instance_id] = max(
+            self._hold_until.get(action.instance_id, 0.0),
+            sim.now_s + checkpoint,
+        )
+        task_rt.status = TaskStatus.QUEUED
+        task_rt.instance_id = None
+        task_rt.resume_version += 1
+
+    def terminate_instance(self, action: TerminateInstance) -> None:
+        sim = self._sim
+        iid = action.instance_id
+        rt = sim._instances.get(iid)
+        if rt is None or not rt.alive:
+            return
+        if rt.assigned:
+            raise SimulationError(
+                f"terminating instance {iid} with assigned tasks {rt.assigned}"
+            )
+        rt.alive = False
+        sim._acct.instance_down(rt.instance.instance_type)
+        when = self._hold_until.get(iid, sim.now_s)
+        if when <= sim.now_s:
+            sim.cloud.terminate(iid, sim.now_s)
+            del sim._instances[iid]
+        else:
+            sim._terminate_holds[iid] = when
+            sim.queue.push(Event(when, EventKind.INSTANCE_TERMINATE, iid))
+
+    def _start_task(
+        self, task_rt: _TaskRT, dst: str, checkpoint_done: float
+    ) -> None:
+        """Shared placement tail: bind the task and queue its resume."""
+        sim = self._sim
+        task = task_rt.task
+        dst_rt = sim._instances[dst]
+        dst_rt.assigned.add(task.task_id)
+        dst_rt.invalidate()
+        sim._acct.task_assigned(task, dst_rt.instance.instance_type)
+        task_rt.instance_id = dst
+        task_rt.status = TaskStatus.PENDING
+        task_rt.resume_version += 1
+        # Delays are sequential (Table 1): the checkpoint must finish
+        # AND the destination must be up before the task launch delay
+        # starts.
+        launch = sim.delay_model.launch_s(task.migration.launch_s)
+        resume = max(dst_rt.ready_time_s, checkpoint_done) + launch
+        sim.queue.push(
+            Event(
+                resume,
+                EventKind.TASK_READY,
+                (task.task_id, task_rt.resume_version),
+            )
+        )
+
+
 class ClusterSimulator:
     """Replays a trace against one scheduler and collects metrics.
 
@@ -206,6 +383,14 @@ class ClusterSimulator:
         self._alloc = AllocationIntegrator()
         self._acct = ClusterAccounting()
         self._accounting_time_s = 0.0
+        #: Action-protocol backend; the single apply path.
+        self._env = _SimEnvironment(self)
+        #: Typed observations accumulated since the last scheduler call.
+        self._pending_obs: list[Observation] = []
+        #: Deadline warnings fire within this many seconds of a job's
+        #: deadline (two periods: the round that could still react plus
+        #: one of slack).
+        self.deadline_warning_s = 2.0 * period_s
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -270,6 +455,9 @@ class ClusterSimulator:
             self._on_instance_preemption(event.payload)
         elif event.kind == EventKind.INSTANCE_TERMINATE:
             self._on_instance_terminate(event.payload)
+        elif event.kind == EventKind.EVICTION_NOTICE:
+            instance_id, eviction_time_s = event.payload
+            self._on_eviction_notice(instance_id, eviction_time_s)
         elif event.kind == EventKind.SCHEDULING_ROUND:
             self._on_round()
         else:  # pragma: no cover - defensive
@@ -288,6 +476,7 @@ class ClusterSimulator:
         self._jobs[job.job_id] = rt
         for task in job.tasks:
             self._tasks[task.task_id] = _TaskRT(task=task)
+        self._pending_obs.append(JobArrived(job_id=job.job_id, time_s=self.now_s))
         self._ensure_round_scheduled()
 
     def _ensure_round_scheduled(self) -> None:
@@ -320,11 +509,12 @@ class ClusterSimulator:
 
         self._advance_all(live)
         snapshot = self._snapshot(live)
-        self.scheduler.on_throughput_reports(self._throughput_reports(live))
-        target = self.scheduler.schedule(snapshot)
+        decision = self.scheduler.decide(snapshot, self._round_observations(live))
         if self.validate:
-            target.validate(snapshot)
-        self._apply(snapshot, target)
+            decision.validate(
+                snapshot, allowed_actions=self.scheduler.action_types
+            )
+        self._env.execute(decision)
         self._refresh_rates(live)
 
         next_round = self.now_s + self.period_s
@@ -352,6 +542,34 @@ class ClusterSimulator:
             time_s=self.now_s, tasks=tasks, jobs=jobs, instances=instances
         )
 
+    def _round_observations(
+        self, live: Sequence[str]
+    ) -> tuple[Observation, ...]:
+        """Drain and assemble this round's typed observation stream.
+
+        Order is deterministic: events accumulated since the last
+        scheduler call (arrivals, completions, eviction notices) in
+        dispatch order, then deadline warnings for live deadline-bearing
+        jobs (ascending job id), then per-job throughput reports.
+        """
+        observations = self._pending_obs
+        self._pending_obs = []
+        for jid in sorted(live):
+            rt = self._jobs[jid]
+            deadline_hours = rt.job.deadline_hours
+            if deadline_hours is None:
+                continue
+            deadline_s = rt.arrival_s + deadline_hours * 3600.0
+            if self.now_s + self.deadline_warning_s >= deadline_s:
+                observations.append(
+                    DeadlineApproaching(job_id=jid, deadline_s=deadline_s)
+                )
+        observations.extend(
+            ThroughputReport(report)
+            for report in self._throughput_reports(live)
+        )
+        return tuple(observations)
+
     def _throughput_reports(
         self, live: Sequence[str]
     ) -> tuple[JobThroughputReport, ...]:
@@ -377,97 +595,6 @@ class ClusterSimulator:
                 )
             )
         return tuple(reports)
-
-    # ------------------------------------------------------------------
-    # Applying a target configuration
-    # ------------------------------------------------------------------
-    def _apply(self, snapshot: ClusterSnapshot, target: TargetConfiguration) -> None:
-        diff = diff_configuration(snapshot, target)
-
-        for ti in diff.launches:
-            receipt = self.cloud.launch(
-                ti.instance_type,
-                self.now_s,
-                instance=ti.instance,
-                spot=self.spot.enabled,
-            )
-            self._instances[ti.instance_id] = _InstanceRT(
-                instance_state_instance=ti.instance,
-                ready_time_s=receipt.ready_time_s,
-            )
-            self._acct.instance_up(ti.instance.instance_type)
-            if self.spot.enabled:
-                lifetime_s = float(
-                    self._spot_rng.exponential(
-                        3600.0 / self.spot.preemption_rate_per_hour
-                    )
-                )
-                self.queue.push(
-                    Event(
-                        self.now_s + lifetime_s,
-                        EventKind.INSTANCE_PREEMPTION,
-                        ti.instance_id,
-                    )
-                )
-
-        hold_until: dict[str, float] = {}
-        for task_id, src, dst in diff.migrations:
-            task_rt = self._tasks[task_id]
-            task = task_rt.task
-            checkpoint_done = self.now_s
-            if src is not None:
-                src_rt = self._instances[src]
-                src_rt.assigned.discard(task_id)
-                src_rt.invalidate()
-                if src_rt.alive:
-                    self._acct.task_unassigned(task, src_rt.instance.instance_type)
-                checkpoint = self.delay_model.checkpoint_s(
-                    task.migration.checkpoint_s
-                )
-                hold_until[src] = max(
-                    hold_until.get(src, 0.0), self.now_s + checkpoint
-                )
-                checkpoint_done = self.now_s + checkpoint
-                self._migrations += 1
-            else:
-                self._placements += 1
-            dst_rt = self._instances[dst]
-            dst_rt.assigned.add(task_id)
-            dst_rt.invalidate()
-            self._acct.task_assigned(task, dst_rt.instance.instance_type)
-            task_rt.instance_id = dst
-            task_rt.status = TaskStatus.PENDING
-            task_rt.resume_version += 1
-            # Delays are sequential (Table 1): the checkpoint must finish
-            # AND the destination must be up before the task launch delay
-            # starts.
-            launch = self.delay_model.launch_s(task.migration.launch_s)
-            resume = max(dst_rt.ready_time_s, checkpoint_done) + launch
-            self.queue.push(
-                Event(
-                    resume,
-                    EventKind.TASK_READY,
-                    (task_id, task_rt.resume_version),
-                )
-            )
-
-        for iid in diff.terminations:
-            rt = self._instances.get(iid)
-            if rt is None or not rt.alive:
-                continue
-            if rt.assigned:
-                raise SimulationError(
-                    f"terminating instance {iid} with assigned tasks {rt.assigned}"
-                )
-            rt.alive = False
-            self._acct.instance_down(rt.instance.instance_type)
-            when = hold_until.get(iid, self.now_s)
-            if when <= self.now_s:
-                self.cloud.terminate(iid, self.now_s)
-                del self._instances[iid]
-            else:
-                self._terminate_holds[iid] = when
-                self.queue.push(Event(when, EventKind.INSTANCE_TERMINATE, iid))
 
     # ------------------------------------------------------------------
     # Task / job / instance events
@@ -536,7 +663,25 @@ class ClusterSimulator:
             )
         )
         del self._jobs[job_id]
+        self._pending_obs.append(JobFinished(job_id=job_id, time_s=self.now_s))
         self._refresh_rates(affected)
+
+    def _on_eviction_notice(self, instance_id: str, eviction_time_s: float) -> None:
+        """The spot market warns that ``instance_id`` will be reclaimed.
+
+        The notice becomes a typed observation for the next scheduling
+        round (which this arms); if the instance is already gone the
+        notice is stale and dropped.
+        """
+        rt = self._instances.get(instance_id)
+        if rt is None or not rt.alive:
+            return
+        self._pending_obs.append(
+            SpotEvictionNotice(
+                instance_id=instance_id, eviction_time_s=eviction_time_s
+            )
+        )
+        self._ensure_round_scheduled()
 
     def _on_instance_preemption(self, instance_id: str) -> None:
         """The spot market reclaims an instance: tasks return to the queue.

@@ -113,3 +113,73 @@ class TestCacheAndReport:
         capsys.readouterr()
         assert main(["prog", "report", out_file, "--id", "fig04"]) == 2
         assert "not in record" in capsys.readouterr().err
+
+
+class TestDryRun:
+    def test_dry_run_without_cache_lists_grid(self, capsys):
+        assert main(
+            ["prog", "run", "table11", "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table11: 5 scenario(s)" in out
+        # One row per cell: 16-hex fingerprint, no cache status.
+        rows = [l for l in out.splitlines() if l.startswith("  ")]
+        assert len(rows) == 5
+        for row in rows:
+            fp, status = row.split()[:2]
+            assert len(fp) == 16 and int(fp, 16) >= 0
+            assert status == "-"
+        # Nothing was simulated (no run footer, no cache line).
+        assert "finished in" not in out
+        assert "[cache]" not in out
+
+    def test_dry_run_expands_seeds(self, capsys):
+        assert main(
+            ["prog", "run", "table11", "--dry-run", "--seeds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table11: 5 scenario(s) x 2 seed(s)" in out
+        assert len([l for l in out.splitlines() if l.startswith("  ")]) == 10
+
+    def test_dry_run_direct_experiment(self, capsys):
+        assert main(["prog", "run", "table01", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "table01: direct experiment" in out
+
+    def test_dry_run_rejects_format_and_output(self, tmp_path, capsys):
+        assert main(
+            ["prog", "run", "table11", "--dry-run", "--format", "json"]
+        ) == 2
+        assert "--dry-run" in capsys.readouterr().err
+        out_file = str(tmp_path / "plan.json")
+        assert main(
+            ["prog", "run", "table11", "--dry-run", "--output", out_file]
+        ) == 2
+        assert "--dry-run" in capsys.readouterr().err
+        assert not (tmp_path / "plan.json").exists()
+
+    def test_dry_run_reports_cache_status(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        dry = [
+            "prog", "run", "spot-eviction", "--dry-run",
+            "--param", "num_jobs=12", "--cache-dir", cache,
+        ]
+        assert main(dry) == 0
+        cold = capsys.readouterr().out
+        assert cold.count("  miss") == 9
+        assert "hits=0/9 misses=9" in cold
+
+        # Populate the cache for real, then the same dry run is all hits.
+        assert main(
+            ["prog", "run", "spot-eviction",
+             "--param", "num_jobs=12", "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        assert main(dry) == 0
+        warm = capsys.readouterr().out
+        assert warm.count("  hit") == 9
+        assert "hits=9/9 misses=0" in warm
+        # Fingerprints shown dry match the ones that keyed the store.
+        assert {
+            l.split()[0] for l in cold.splitlines() if l.startswith("  ")
+        } == {l.split()[0] for l in warm.splitlines() if l.startswith("  ")}

@@ -87,6 +87,15 @@ class TestScenarioFingerprint:
         assert (
             _scenario(spot=SpotConfig(enabled=True, seed=9)).fingerprint() != base
         )
+        # The eviction-notice window is result-affecting and must key
+        # the cache like any other spot field: vary *only* notice_s.
+        from dataclasses import replace
+
+        spot = SpotConfig(enabled=True, preemption_rate_per_hour=0.1, seed=4)
+        assert (
+            _scenario(spot=spot).fingerprint()
+            != _scenario(spot=replace(spot, notice_s=600.0)).fingerprint()
+        )
 
     def test_inline_trace_fingerprints_by_content(self):
         spec = TraceSpec.make("small-physical", seed=0)

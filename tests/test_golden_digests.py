@@ -1,0 +1,122 @@
+"""Byte-identical regression gate for the simulator's result stream.
+
+The 23-cell scheduler/trace matrix below was digested at the revision
+that introduced the action/observation protocol, *before* the
+``_apply``-path rewrite, so these digests pin the legacy
+snapshot→target semantics.  Any refactor of the scheduling contract,
+the action executor, or the event engine must keep every
+:class:`~repro.sim.metrics.SimulationResult` byte-identical — the
+whole pickled result, not just headline metrics.
+
+Regenerate (only when a change is *supposed* to alter results, which
+needs an explicit justification in the PR):
+
+    EVA_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_digests.py
+
+The matrix spans every registered scheduler, single- and multi-task
+traces, all four trace families, and the spot market, so digest drift
+localizes quickly: a diff confined to ``spot-*`` rows points at the
+preemption path, one confined to ``eva*`` rows at the packing layer,
+and a full-matrix diff at the engine/accounting core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.catalog import ec2_catalog
+from repro.core import make_scheduler
+from repro.sim.simulator import SpotConfig, run_simulation
+from repro.workloads.alibaba import (
+    alibaba_gavel_trace,
+    alibaba_multi_task_trace,
+    synthesize_alibaba_trace,
+)
+from repro.workloads.synthetic import small_physical_trace, synthetic_trace
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_digests.json"
+
+#: Pinned so the digest does not move when a newer interpreter bumps
+#: ``pickle.HIGHEST_PROTOCOL``.
+_PICKLE_PROTOCOL = 5
+
+_EVA_VARIANTS = (
+    "eva",
+    "eva-tnrp",
+    "eva-rp",
+    "eva-single",
+    "eva-full-only",
+    "eva-partial-only",
+)
+_BASELINES = ("no-packing", "stratus", "synergy", "owl")
+
+
+def _matrix() -> list[tuple[str, str, dict]]:
+    """(cell id, scheduler registry name, run_simulation kwargs) triples."""
+    cells: list[tuple[str, str, dict]] = []
+    syn20 = synthetic_trace(20, seed=0, name="golden-syn20")
+    for scheduler in _EVA_VARIANTS + _BASELINES:
+        cells.append((f"syn20-{scheduler}", scheduler, {"trace": syn20}))
+    ali60 = synthesize_alibaba_trace(60, seed=1)
+    for scheduler in ("eva",) + _BASELINES:
+        cells.append((f"ali60-{scheduler}", scheduler, {"trace": ali60}))
+    multi30 = alibaba_multi_task_trace(30, multi_task_fraction=0.5, seed=2)
+    for scheduler in ("eva", "eva-single"):
+        cells.append((f"multi30-{scheduler}", scheduler, {"trace": multi30}))
+    spot12 = synthetic_trace(12, seed=3, name="golden-spot12")
+    spot = SpotConfig(enabled=True, preemption_rate_per_hour=0.3, seed=3)
+    for scheduler in ("eva", "no-packing", "stratus"):
+        cells.append(
+            (f"spot12-{scheduler}", scheduler, {"trace": spot12, "spot": spot})
+        )
+    cells.append(("gavel24-eva", "eva", {"trace": alibaba_gavel_trace(24, seed=4)}))
+    phys32 = small_physical_trace(seed=0)
+    for scheduler in ("eva", "owl"):
+        cells.append((f"phys32-{scheduler}", scheduler, {"trace": phys32}))
+    assert len(cells) == 23, f"golden matrix drifted to {len(cells)} cells"
+    return cells
+
+
+def _digest(cell_kwargs: dict, scheduler_name: str) -> str:
+    result = run_simulation(
+        scheduler=make_scheduler(scheduler_name, ec2_catalog()), **cell_kwargs
+    )
+    return hashlib.sha256(
+        pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+    ).hexdigest()
+
+
+def test_simulation_results_match_golden_digests():
+    cells = _matrix()
+    actual = {
+        cell_id: _digest(kwargs, scheduler)
+        for cell_id, scheduler, kwargs in cells
+    }
+
+    if os.environ.get("EVA_REGEN_GOLDEN") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {len(actual)} golden digests at {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with EVA_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(actual) == set(golden), (
+        "golden matrix cells changed; regenerate deliberately"
+    )
+    drifted = {
+        cell: (golden[cell], actual[cell])
+        for cell in sorted(actual)
+        if actual[cell] != golden[cell]
+    }
+    assert not drifted, (
+        "SimulationResult digests drifted (byte-identity contract, see "
+        f"module docstring): {sorted(drifted)}"
+    )

@@ -28,7 +28,15 @@ import pickle
 from repro.cloud.catalog import ec2_catalog
 from repro.cloud.provider import SimulatedCloud
 from repro.cluster.resources import RESOURCE_NAMES
+from repro.cluster.state import tasks_fit_on_type
 from repro.core import make_scheduler
+from repro.core.interfaces import Scheduler
+from repro.core.protocol import (
+    AssignTask,
+    MigrateTask,
+    TerminateInstance,
+    replay_decision,
+)
 from repro.sim.accounting import naive_totals
 from repro.sim.batch import Scenario, run_batch
 from repro.sim.metrics import AllocationIntegrator, SimulationResult
@@ -175,6 +183,109 @@ def test_results_identical_across_hash_seeds():
         )
         outputs.add(proc.stdout.strip())
     assert len(outputs) == 1, f"hash-seed-dependent results: {outputs}"
+
+
+class _RecordingScheduler(Scheduler):
+    """Transparent wrapper capturing every (snapshot, decision) pair."""
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.name = inner.name
+        self.action_types = inner.action_types
+        self.records: list[tuple] = []
+
+    def schedule(self, snapshot):  # pragma: no cover - decide() is the path
+        return self.inner.schedule(snapshot)
+
+    def decide(self, snapshot, observations=()):
+        decision = self.inner.decide(snapshot, observations)
+        self.records.append((snapshot, decision))
+        return decision
+
+
+class TestActionConservation:
+    """Action-level conservation laws over every round of real runs.
+
+    For every decision an evaluation scheduler emits against a live
+    snapshot: assignments target live tasks on capacity-respecting
+    instances, terminations never strand a running task (a matching
+    migrate/unassign must precede them in the stream), and the planned
+    action stream round-trips — structurally replaying
+    ``diff_target(snapshot, target)`` reproduces the target
+    configuration exactly.
+    """
+
+    @staticmethod
+    def _check_round(snapshot, decision):
+        live_tasks = set(snapshot.tasks)
+        for action in decision.actions:
+            if isinstance(action, (AssignTask, MigrateTask)):
+                assert action.task_id in live_tasks, (
+                    f"action moves dead task {action.task_id}"
+                )
+        # replay_decision raises on: assigning an already-placed task,
+        # migrating from the wrong source, terminating with tasks still
+        # hosted (no matching unassign/migrate earlier in the stream),
+        # and final-state over-subscription.
+        final = replay_decision(snapshot, decision)
+        # Terminated instances are really gone from the final state.
+        for action in decision.actions:
+            if isinstance(action, TerminateInstance):
+                assert action.instance_id not in final
+        # Per-instance capacity holds in the planned end state.
+        instance_types = {
+            st.instance_id: st.instance_type for st in snapshot.instances
+        }
+        for action in decision.actions:
+            if hasattr(action, "instance"):  # LaunchInstance
+                instance_types[action.instance_id] = (
+                    action.instance.instance_type
+                )
+        for iid, task_ids in final.items():
+            tasks = [snapshot.tasks[tid] for tid in sorted(task_ids)]
+            assert tasks_fit_on_type(tasks, instance_types[iid]), iid
+        # Round-trip: the planner's actions reproduce the target.
+        if decision.target is not None:
+            assert final == {
+                ti.instance_id: ti.task_ids
+                for ti in decision.target.instances
+            }
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "scheduler", ["eva", "stratus", "synergy", "owl", "no-packing"]
+    )
+    def test_actions_conserve_tasks_and_instances(self, scheduler, seed, catalog):
+        trace = _random_trace(seed)
+        recorder = _RecordingScheduler(make_scheduler(scheduler, catalog))
+        result = run_simulation(trace, recorder, validate=True)
+        check_invariants(trace, result)
+        assert recorder.records, "no scheduling rounds recorded"
+        for snapshot, decision in recorder.records:
+            self._check_round(snapshot, decision)
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_actions_conserve_under_spot_eviction_notices(self, seed, catalog):
+        trace = _random_trace(seed)
+        recorder = _RecordingScheduler(
+            make_scheduler("eva-eviction-aware", catalog)
+        )
+        result = run_simulation(
+            trace,
+            recorder,
+            validate=True,
+            spot=SpotConfig(
+                enabled=True,
+                preemption_rate_per_hour=0.5,
+                seed=seed,
+                notice_s=600.0,
+            ),
+        )
+        check_invariants(
+            trace, result, price_floor_factor=SimulatedCloud().spot_discount
+        )
+        for snapshot, decision in recorder.records:
+            self._check_round(snapshot, decision)
 
 
 class _NaiveAccountingSimulator(ClusterSimulator):
