@@ -37,6 +37,11 @@ from repro.core.heterogeneous import (
     HeterogeneousRPCalculator,
     heterogeneous_full_reconfiguration,
 )
+from repro.core.deadline import (
+    DeadlineAwareEvaScheduler,
+    DeadlineConfig,
+    DeadlineTNRPEvaluator,
+)
 from repro.core.ilp import ILPResult, ilp_schedule
 from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.monitor import ThroughputMonitor
@@ -176,7 +181,12 @@ def _make_eviction_aware(catalog, interference=None, delay_model=None) -> Schedu
     return EvictionAwareEvaScheduler(catalog, delay_model=delay_model)
 
 
+def _make_deadline_aware(catalog, interference=None, delay_model=None) -> Scheduler:
+    return DeadlineAwareEvaScheduler(catalog, delay_model=delay_model)
+
+
 register_scheduler("eva-eviction-aware", _make_eviction_aware)
+register_scheduler("eva-deadline", _make_deadline_aware)
 register_scheduler("no-packing", _make_no_packing)
 register_scheduler("stratus", _make_stratus)
 register_scheduler("synergy", _make_synergy)
@@ -227,6 +237,9 @@ __all__ = [
     "EvaConfig",
     "EvaScheduler",
     "EvictionAwareEvaScheduler",
+    "DeadlineAwareEvaScheduler",
+    "DeadlineConfig",
+    "DeadlineTNRPEvaluator",
     "make_eva_variant",
     "Action",
     "AssignTask",

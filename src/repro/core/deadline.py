@@ -1,0 +1,316 @@
+"""Deadline-SLO scheduling: urgency-weighted reservation prices.
+
+Eva's reservation-price machinery optimizes cost and is deadline-blind.
+This module adds the deadline-aware policy on top of the *unchanged*
+Algorithm-1 path: :class:`DeadlineAwareEvaScheduler` consumes
+:class:`~repro.core.protocol.DeadlineApproaching` observations natively
+(the typed channel, never snapshot diffing), estimates each
+deadline-bearing job's remaining work from its throughput reports, and
+— when the job can no longer meet its deadline at the co-located
+throughput the table predicts — escalates the rate at which the job's
+reservation price is charged against interference.
+
+The escalation generalizes the §4.4 multi-task penalty.  The standard
+single-task TNRP ``tput · RP(τ)`` is algebraically
+``RP(τ) − (1 − tput) · RP(τ)``: full reservation price minus the
+degradation charge.  For an *at-risk* job the charge is multiplied by an
+urgency factor ``u ≥ 1``:
+
+    ``TNRP_u(τ, tput) = RP(τ) − (1 − tput) · RP(charge) · u``
+
+(``RP(charge)`` is ``RP(j)`` for multi-task jobs, exactly as in §4.4,
+and ``RP(τ)`` for single-task jobs).  Standalone placements
+(``tput = 1``) are untouched, so an at-risk job costs exactly what it
+always cost on its reservation-price instance.  Everything else falls
+out of the ordinary packing path:
+
+* **greedy guard (Algorithm 1, lines 9–11)** — adding a neighbour to an
+  at-risk task's instance now decreases the set's value, so urgent
+  tasks come out of packing isolated;
+* **survivor extraction (§4.5)** — an instance co-locating an at-risk
+  task loses its cost-efficiency (the inflated degradation charge
+  pushes the set's value below the instance's hourly cost), so Partial
+  Reconfiguration drains it and re-packs the task at full throughput;
+* **termination/launch** — the standard plan executor migrates the
+  at-risk task off and closes the drained instance; no special-case
+  actions exist, so the declared ``action_types`` vocabulary is Eva's.
+
+The urgency factor comes from remaining work vs. time-to-deadline: with
+``required = remaining_work_h / time_to_deadline_h``, the job is at risk
+once ``required`` exceeds the throughput the table predicts for a packed
+placement (its pairwise default), and then
+
+    ``u = min(max_urgency, 1 / max(1 − required, 1 / max_urgency))``
+
+— exactly the factor at which a ``(1 − tput) = 1 − required``
+degradation charge cancels one full reservation price, so the escalation
+grows as slack shrinks and saturates at ``max_urgency`` for jobs whose
+deadline is already unattainable (bounding lateness instead).
+
+With no deadline-bearing jobs (or before any warning fires) the
+scheduler builds the stock evaluator with its shared cross-round caches
+and is behaviourally — and byte-for-byte — identical to
+:class:`~repro.core.scheduler.EvaScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cloud.delays import DelayModel
+from repro.cluster.instance import InstanceType
+from repro.cluster.state import ClusterSnapshot, TargetConfiguration
+from repro.core.evaluation import AssignmentEvaluator, TNRPCaches, TNRPEvaluator
+from repro.core.interfaces import JobThroughputReport
+from repro.core.protocol import DeadlineApproaching, Observation
+from repro.core.scheduler import EvaConfig, EvaScheduler
+from repro.cluster.task import Task
+
+__all__ = [
+    "DeadlineConfig",
+    "DeadlineTNRPEvaluator",
+    "DeadlineAwareEvaScheduler",
+]
+
+
+@dataclass(frozen=True)
+class DeadlineConfig:
+    """Tuning knobs of the deadline-urgency escalation.
+
+    Attributes:
+        max_urgency: Cap on the degradation-charge multiplier.  The
+            default (64) is far past the point where any tabled
+            co-location stops looking cost-efficient (a pairwise
+            throughput of ``t`` needs ``u > 1/(1-t)``; the table default
+            0.95 needs 20), while keeping values finite for the
+            already-late case.
+        risk_tput: Packed-throughput estimate that defines "at risk":
+            a job whose required throughput exceeds it cannot meet its
+            deadline if co-located.  ``None`` (default) reads the
+            scheduler's co-location table default — "via the throughput
+            table" — so the risk bar moves with the table the policy
+            actually packs against.
+        reconfig_headroom_s: Reconfiguration allowance subtracted from
+            the time-to-deadline before computing the required
+            throughput.  Isolating a job is not instantaneous — the
+            at-risk call must land a scheduling round plus a
+            checkpoint/launch cycle before the deadline — so the policy
+            plans against an effective deadline this many seconds early
+            (default: two scheduling periods, like the simulator's
+            default warning horizon).  A job inside the headroom window
+            escalates to ``max_urgency`` outright.
+    """
+
+    max_urgency: float = 64.0
+    risk_tput: float | None = None
+    reconfig_headroom_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.max_urgency < 1.0:
+            raise ValueError("max_urgency must be >= 1")
+        if self.risk_tput is not None and not 0.0 < self.risk_tput <= 1.0:
+            raise ValueError(f"risk_tput must be in (0, 1], got {self.risk_tput}")
+        if self.reconfig_headroom_s < 0:
+            raise ValueError("reconfig_headroom_s must be >= 0")
+
+
+@dataclass
+class DeadlineTNRPEvaluator(TNRPEvaluator):
+    """TNRP with per-job urgency multipliers on the degradation charge.
+
+    ``urgency`` maps job id → multiplier (``>= 1``); jobs absent from
+    the map are valued by the stock TNRP formula, bit for bit.  Built
+    fresh each round with fresh :class:`~repro.core.evaluation.TNRPCaches`
+    (urgency-dependent values must not leak into the scheduler's shared
+    cross-round memo), and its :meth:`cache_token` carries the urgency
+    map so whole-packing memo entries can never be reused across
+    different urgency states.
+    """
+
+    urgency: Mapping[str, float] = field(default_factory=dict)
+
+    def tnrp_from_tput(self, task: Task, tput: float) -> float:
+        u = self.urgency.get(task.job_id, 1.0)
+        if u == 1.0:
+            return super().tnrp_from_tput(task, tput)
+        # A task's u is fixed for this evaluator's (per-round) lifetime,
+        # so urgent values share the per-round tnrp memo without ever
+        # colliding with stock values under the same key.
+        cache = self.caches.tnrp
+        key = (task.task_id, tput)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        rp = self.calculator.rp(task)
+        job_rp = self._job_rp(task)
+        charge = job_rp if job_rp is not None else rp
+        value = rp - (1.0 - tput) * charge * u
+        cache[key] = value
+        return value
+
+    def group_key(self, task: Task) -> tuple:
+        # Equal workload/demand/arity tasks stop being interchangeable
+        # when their jobs carry different urgency.
+        return (*super().group_key(task), self.urgency.get(task.job_id, 1.0))
+
+    def cache_token(self) -> tuple | None:
+        base = super().cache_token()
+        if base is None:
+            return None
+        return (*base, "deadline", tuple(sorted(self.urgency.items())))
+
+
+class DeadlineAwareEvaScheduler(EvaScheduler):
+    """Eva extended with deadline-SLO urgency (see module docstring).
+
+    A protocol-native policy: deadlines reach it exclusively as
+    :class:`~repro.core.protocol.DeadlineApproaching` observations
+    through the :meth:`observe` hook (direct ``schedule()`` callers that
+    bypass the observation channel get plain Eva behaviour — the policy
+    never sniffs ``Job.deadline_hours`` off the snapshot).  Remaining
+    work is estimated by integrating the per-round throughput reports,
+    the same signal that feeds the co-location table.
+    """
+
+    def __init__(
+        self,
+        catalog: Sequence[InstanceType],
+        config: EvaConfig | None = None,
+        delay_model: DelayModel | None = None,
+        name: str | None = None,
+        deadline_config: DeadlineConfig | None = None,
+    ):
+        super().__init__(
+            catalog,
+            config=config,
+            delay_model=delay_model,
+            name=name or "Eva-Deadline",
+        )
+        if not self.config.interference_aware:
+            raise ValueError(
+                "DeadlineAwareEvaScheduler needs the TNRP evaluator "
+                "(interference_aware=True): urgency escalates the "
+                "throughput-degradation charge"
+            )
+        self.deadline_config = deadline_config or DeadlineConfig()
+        #: job id -> absolute deadline (seconds), learned from the typed
+        #: observation channel and pruned against each snapshot.
+        self._deadlines: dict[str, float] = {}
+        #: job id -> (last integration time, estimated work done in
+        #: standalone-hours).
+        self._progress: dict[str, tuple[float, float]] = {}
+        #: This round's reported normalized throughput per job (jobs not
+        #: fully running have no report and integrate at rate 0).
+        self._round_tputs: dict[str, float] = {}
+        #: Urgency multipliers used by the most recent round (for
+        #: introspection and tests).
+        self.last_urgency: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Observation channel
+    # ------------------------------------------------------------------
+    def observe(self, observations: tuple[Observation, ...]) -> None:
+        super().observe(observations)
+        for obs in observations:
+            if isinstance(obs, DeadlineApproaching):
+                self._deadlines[obs.job_id] = obs.deadline_s
+
+    def on_throughput_reports(
+        self, reports: tuple[JobThroughputReport, ...]
+    ) -> None:
+        super().on_throughput_reports(reports)
+        self._round_tputs = {r.job_id: r.normalized_tput for r in reports}
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+        self._update_progress(snapshot)
+        self.last_urgency = self._compute_urgency(snapshot)
+        return super().schedule(snapshot)
+
+    def make_evaluator(self, snapshot: ClusterSnapshot) -> AssignmentEvaluator:
+        urgency = self.last_urgency
+        if not urgency:
+            # No at-risk jobs: the stock evaluator with the shared
+            # cross-round caches — the exact EvaScheduler path.
+            return super().make_evaluator(snapshot)
+        return DeadlineTNRPEvaluator(
+            calculator=self.rp_calculator,
+            table=self.monitor.table,
+            jobs=snapshot.jobs,
+            multi_task_aware=self.config.multi_task_aware,
+            caches=TNRPCaches(),
+            urgency=urgency,
+        )
+
+    # ------------------------------------------------------------------
+    # Remaining-work estimation and urgency
+    # ------------------------------------------------------------------
+    def _update_progress(self, snapshot: ClusterSnapshot) -> None:
+        """Integrate observed throughput into per-job work estimates.
+
+        A job's report at this round reflects its placement over the
+        just-elapsed interval, so the interval is credited at that rate;
+        intervals without a report (queued, pending, straggling) accrue
+        nothing — a pessimistic estimate, which can only make the policy
+        act earlier, never later.
+        """
+        now = snapshot.time_s
+        jobs = snapshot.jobs
+        for job_id in [j for j in self._progress if j not in jobs]:
+            del self._progress[job_id]
+        for job_id, job in jobs.items():
+            last_s, work_h = self._progress.get(job_id, (now, 0.0))
+            rate = self._round_tputs.get(job_id, 0.0)
+            if now > last_s and rate > 0.0:
+                work_h = min(
+                    job.duration_hours, work_h + rate * (now - last_s) / 3600.0
+                )
+            self._progress[job_id] = (now, work_h)
+
+    def _compute_urgency(self, snapshot: ClusterSnapshot) -> dict[str, float]:
+        """Urgency multipliers for the at-risk deadline-bearing jobs."""
+        self._deadlines = {
+            job_id: deadline_s
+            for job_id, deadline_s in self._deadlines.items()
+            if job_id in snapshot.jobs
+        }
+        if not self._deadlines:
+            return {}
+        cfg = self.deadline_config
+        risk_tput = (
+            cfg.risk_tput
+            if cfg.risk_tput is not None
+            else self.monitor.table.default_tput
+        )
+        now = snapshot.time_s
+        urgency: dict[str, float] = {}
+        for job_id, deadline_s in self._deadlines.items():
+            job = snapshot.jobs[job_id]
+            work_h = self._progress.get(job_id, (now, 0.0))[1]
+            remaining_h = job.duration_hours - work_h
+            if remaining_h <= 0.0:
+                continue  # estimator says done; the finish is imminent
+            raw_slack_h = (deadline_s - now) / 3600.0
+            if remaining_h >= raw_slack_h:
+                # Lost cause: even uninterrupted full-throughput
+                # execution cannot finish in time.  Escalating would
+                # spend money and migrations on a miss either way, so
+                # the job falls back to pure cost scheduling.
+                continue
+            slack_h = (deadline_s - cfg.reconfig_headroom_s - now) / 3600.0
+            if slack_h <= 0.0:
+                # Attainable, but only if isolation happens right now —
+                # the reconfiguration headroom is already being spent.
+                urgency[job_id] = cfg.max_urgency
+                continue
+            required = remaining_h / slack_h
+            if required <= risk_tput:
+                continue  # on track even at packed throughput
+            urgency[job_id] = min(
+                cfg.max_urgency,
+                1.0 / max(1.0 - required, 1.0 / cfg.max_urgency),
+            )
+        return urgency

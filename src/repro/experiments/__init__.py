@@ -20,6 +20,7 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments import (
+    deadline_slo,
     fig01_interference,
     fig04_interference_sweep,
     fig05_migration_sweep,
@@ -47,6 +48,7 @@ __all__ = [
     "experiment_ids",
     "get_experiment",
     "run_experiment",
+    "deadline_slo",
     "fig01_interference",
     "fig04_interference_sweep",
     "fig05_migration_sweep",

@@ -240,6 +240,10 @@ class ExperimentSpec:
             seed sweep (cells built from ``ctx.seed + trial``) —
             :func:`~repro.sim.batch.reseed` would collapse every trial
             onto one seed there, so ``ctx.seeds`` is ignored instead.
+        trial_table: Optional override of the generic multi-seed summary
+            (``(spec, grid, trials) -> ExperimentTable``) for grid specs
+            whose headline metrics go beyond the standard cost/JCT/tput
+            columns (e.g. ``deadline-slo``'s attainment columns).
     """
 
     id: str
@@ -251,6 +255,9 @@ class ExperimentSpec:
     present: Callable[[Any], Presentation] | None = None
     direct: Callable[[ExperimentContext], Any] | None = None
     multi_seed: bool = True
+    trial_table: (
+        Callable[["ExperimentSpec", ScenarioGrid, TrialSet], ExperimentTable] | None
+    ) = None
 
     def __post_init__(self) -> None:
         has_grid = self.build is not None and self.aggregate is not None
@@ -369,9 +376,8 @@ def run_experiment(
             grid.scenarios, ctx.seeds, workers=ctx.workers, store=ctx.store
         )
         value: Any = trials
-        presentation = Presentation.of_tables(
-            trial_summary_table(spec, grid, trials)
-        )
+        make_table = spec.trial_table or trial_summary_table
+        presentation = Presentation.of_tables(make_table(spec, grid, trials))
         seeds: tuple[int, ...] | None = trials.seeds
     else:
         outcomes = run_batch(grid.scenarios, workers=ctx.workers, store=ctx.store)

@@ -27,6 +27,7 @@ from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.protocol import (
     AssignTask,
     ClusterEnvironment,
+    DeadlineApproaching,
     JobArrived,
     JobFinished,
     LaunchInstance,
@@ -107,6 +108,11 @@ class EvaMaster:
     interference: InterferenceModel = field(default_factory=InterferenceModel)
     period_s: float = 300.0
     now_s: float = 0.0
+    #: Horizon of :class:`~repro.core.protocol.DeadlineApproaching`
+    #: warnings (``None`` = two periods), matching the simulator's knob:
+    #: a deadline-bearing job's warning is emitted at the first round
+    #: within this many seconds of its deadline, once per job.
+    deadline_warning_s: float | None = None
 
     def __post_init__(self) -> None:
         self.bus = RpcBus()
@@ -128,6 +134,12 @@ class EvaMaster:
         self._env = _RuntimeEnvironment(self)
         #: Typed observations accumulated since the last scheduling round.
         self._pending_obs: list[Observation] = []
+        if self.deadline_warning_s is not None and self.deadline_warning_s < 0:
+            raise ValueError("deadline_warning_s must be >= 0")
+        if self.deadline_warning_s is None:
+            self.deadline_warning_s = 2.0 * self.period_s
+        #: Jobs whose deadline warning was already emitted (once per job).
+        self._deadline_warned: set[str] = set()
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -189,9 +201,25 @@ class EvaMaster:
     # Internals
     # ------------------------------------------------------------------
     def _observations(self) -> tuple[Observation, ...]:
-        """Drain pending job events and append throughput reports."""
+        """Drain pending job events, then deadline warnings, then reports.
+
+        Same deterministic order and same once-per-job deadline-warning
+        semantics as the simulator's observation stream (the deadline
+        clock starts at submission).
+        """
         observations = self._pending_obs
         self._pending_obs = []
+        for job in self.live_jobs():
+            if job.deadline_hours is None or job.job_id in self._deadline_warned:
+                continue
+            deadline_s = (
+                self._submit_times[job.job_id] + job.deadline_hours * 3600.0
+            )
+            if self.now_s + self.deadline_warning_s >= deadline_s:
+                self._deadline_warned.add(job.job_id)
+                observations.append(
+                    DeadlineApproaching(job_id=job.job_id, deadline_s=deadline_s)
+                )
         observations.extend(ThroughputReport(r) for r in self._reports())
         return tuple(observations)
 
@@ -279,6 +307,7 @@ class EvaMaster:
                 )
             )
             del self._jobs[job.job_id]
+            self._deadline_warned.discard(job.job_id)
             self._pending_obs.append(
                 JobFinished(job_id=job.job_id, time_s=self.now_s)
             )

@@ -21,7 +21,7 @@ results between the two paths.
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.cluster.instance import InstanceType
 from repro.cluster.resources import RESOURCE_NAMES
@@ -44,15 +44,31 @@ class ClusterAccounting:
             instances.
         num_tasks: Number of tasks assigned to live instances.
         num_instances: Number of live instances.
+        deadline_jobs: Number of finished deadline-bearing jobs.
+        deadline_misses: How many of those finished past their deadline.
+        deadline_lateness_s: Running sum of per-job lateness
+            (``max(0, finish - deadline)``), accumulated in finish order
+            — one O(1) update per job completion, never a re-scan.
     """
 
-    __slots__ = ("allocated", "capacity", "num_tasks", "num_instances")
+    __slots__ = (
+        "allocated",
+        "capacity",
+        "num_tasks",
+        "num_instances",
+        "deadline_jobs",
+        "deadline_misses",
+        "deadline_lateness_s",
+    )
 
     def __init__(self) -> None:
         self.allocated: dict[str, float] = {r: 0.0 for r in RESOURCE_NAMES}
         self.capacity: dict[str, float] = {r: 0.0 for r in RESOURCE_NAMES}
         self.num_tasks = 0
         self.num_instances = 0
+        self.deadline_jobs = 0
+        self.deadline_misses = 0
+        self.deadline_lateness_s = 0.0
 
     # ------------------------------------------------------------------
     # Deltas
@@ -81,15 +97,37 @@ class ClusterAccounting:
             self.allocated[r] -= demand.get(r)
         self.num_tasks -= 1
 
+    def job_deadline_resolved(self, lateness_s: float) -> None:
+        """A deadline-bearing job finished with the given lateness.
+
+        ``lateness_s`` must already be clamped to ``>= 0``; zero means
+        the deadline was met.  Called once per deadline-bearing job, in
+        finish order, so the lateness sum is deterministic.
+        """
+        if lateness_s < 0:
+            raise ValueError(f"lateness_s must be >= 0, got {lateness_s}")
+        self.deadline_jobs += 1
+        if lateness_s > 0:
+            self.deadline_misses += 1
+            self.deadline_lateness_s += lateness_s
+
     # ------------------------------------------------------------------
     # Reference implementation + cross-check
     # ------------------------------------------------------------------
-    def verify(self, instances: Mapping[str, object], tasks: Mapping[str, object]) -> None:
+    def verify(
+        self,
+        instances: Mapping[str, object],
+        tasks: Mapping[str, object],
+        deadline_outcomes: Sequence[object] | None = None,
+    ) -> None:
         """Assert the incremental totals match a naive re-scan.
 
         Called on every accounting step when the simulator runs with
         ``validate=True``; raises :class:`AccountingDriftError` when any
         total drifted (i.e. a state mutation bypassed the delta hooks).
+        ``deadline_outcomes`` (the simulator's finish-order SLO records)
+        additionally cross-checks the deadline counters against
+        :func:`naive_deadline_totals`.
         """
         allocated, capacity, num_tasks, num_instances = naive_totals(instances, tasks)
         if num_tasks != self.num_tasks or num_instances != self.num_instances:
@@ -106,6 +144,20 @@ class ClusterAccounting:
                     raise AccountingDriftError(
                         f"{label}[{r}] drift: incremental {inc!r} vs naive {ref!r}"
                     )
+        if deadline_outcomes is not None:
+            jobs, misses, lateness = naive_deadline_totals(deadline_outcomes)
+            if jobs != self.deadline_jobs or misses != self.deadline_misses:
+                raise AccountingDriftError(
+                    f"deadline count drift: incremental ({self.deadline_jobs} "
+                    f"jobs, {self.deadline_misses} misses) vs naive "
+                    f"({jobs}, {misses})"
+                )
+            # Same additions in the same (finish) order: bit-for-bit.
+            if lateness != self.deadline_lateness_s:
+                raise AccountingDriftError(
+                    f"deadline lateness drift: incremental "
+                    f"{self.deadline_lateness_s!r} vs naive {lateness!r}"
+                )
 
 
 def naive_totals(
@@ -137,3 +189,22 @@ def naive_totals(
                 allocated[r] += demand.get(r)
             num_tasks += 1
     return allocated, capacity, num_tasks, num_instances
+
+
+def naive_deadline_totals(
+    deadline_outcomes: Sequence[object],
+) -> tuple[int, int, float]:
+    """Re-derive ``(jobs, misses, total lateness)`` from the SLO records.
+
+    ``deadline_outcomes`` is the simulator's finish-order list of
+    :class:`~repro.sim.metrics.DeadlineOutcome` records.  Iterating it in
+    that order performs the exact addition sequence of the incremental
+    path, so the lateness total compares bit-for-bit.
+    """
+    misses = 0
+    lateness = 0.0
+    for outcome in deadline_outcomes:
+        if outcome.lateness_s > 0:
+            misses += 1
+            lateness += outcome.lateness_s
+    return len(deadline_outcomes), misses, lateness

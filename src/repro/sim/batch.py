@@ -243,6 +243,12 @@ class Scenario:
         period_s: Scheduling period.
         validate: Validate every target configuration (slower).
         seed: Scenario seed (see above).
+        deadline_warning_s: Horizon of the simulator's
+            :class:`~repro.core.protocol.DeadlineApproaching` warnings
+            (``None`` = the classic two-period default; see
+            :class:`~repro.sim.simulator.ClusterSimulator`).  Result-
+            affecting for deadline-aware schedulers, hence part of the
+            fingerprint like every other field here.
     """
 
     scheduler: str
@@ -255,6 +261,7 @@ class Scenario:
     period_s: float = DEFAULT_PERIOD_S
     validate: bool = False
     seed: int = 0
+    deadline_warning_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.catalog is not None and not isinstance(self.catalog, tuple):
@@ -327,6 +334,7 @@ def _execute_scenario(scenario: Scenario) -> ScenarioOutcome:
         period_s=scenario.period_s,
         validate=scenario.validate,
         spot=scenario.spot,
+        deadline_warning_s=scenario.deadline_warning_s,
     )
     return ScenarioOutcome(
         scenario=original, result=result, elapsed_s=time.perf_counter() - start

@@ -21,6 +21,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.accounting import ClusterAccounting
 
 
+@dataclass(frozen=True, slots=True)
+class DeadlineOutcome:
+    """One deadline-bearing job's SLO record.
+
+    ``lateness_s`` is ``max(0, finish_s - deadline_s)``; a job met its
+    deadline iff its lateness is exactly zero (``finish_s`` strictly
+    beyond the deadline always yields strictly positive lateness, so the
+    two encodings cannot disagree).
+    """
+
+    job_id: str
+    deadline_s: float
+    finish_s: float
+    lateness_s: float
+
+    @property
+    def met(self) -> bool:
+        return self.lateness_s == 0.0
+
+
 @dataclass
 class JobOutcome:
     """Per-job record produced by the simulator."""
@@ -134,6 +154,43 @@ class SimulationResult:
     full_adoption_fraction: float | None = None
     scheduling_rounds: int = 0
     preemptions: int = 0
+    #: Per-job SLO records (deadline-bearing jobs only, in finish order —
+    #: the order the O(delta) totals accumulated in, so
+    #: :func:`~repro.sim.accounting.naive_deadline_totals` reproduces the
+    #: aggregates bit for bit)
+    #: plus the aggregates the paper-style tables report.  Legacy traces
+    #: without deadlines leave all three at their defaults, and the
+    #: pickled state then omits them entirely (see ``__getstate__``), so
+    #: pre-deadline results stay byte-identical — the golden digest
+    #: matrix pins this.
+    deadline_outcomes: tuple[DeadlineOutcome, ...] = ()
+    deadline_miss_count: int = 0
+    deadline_total_lateness_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Byte-identity of legacy results across the field addition
+    # ------------------------------------------------------------------
+    #: Fields introduced by the deadline-SLO subsystem, with their
+    #: legacy-default values.  Any of them at its default is dropped from
+    #: the pickled state so no-deadline results serialize exactly as
+    #: before the fields existed.
+    _DEADLINE_FIELD_DEFAULTS = {
+        "deadline_outcomes": (),
+        "deadline_miss_count": 0,
+        "deadline_total_lateness_s": 0.0,
+    }
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name, default in self._DEADLINE_FIELD_DEFAULTS.items():
+            if name in state and state[name] == default:
+                del state[name]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, default in self._DEADLINE_FIELD_DEFAULTS.items():
+            state.setdefault(name, default)
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Derived statistics
@@ -157,6 +214,37 @@ class SimulationResult:
 
     def migrations_per_task(self) -> float:
         return self.migrations / self.num_tasks if self.num_tasks else 0.0
+
+    # ------------------------------------------------------------------
+    # Deadline SLO statistics
+    # ------------------------------------------------------------------
+    @property
+    def deadline_job_count(self) -> int:
+        """Number of deadline-bearing jobs in this run."""
+        return len(self.deadline_outcomes)
+
+    @property
+    def deadline_met_count(self) -> int:
+        return self.deadline_job_count - self.deadline_miss_count
+
+    @property
+    def deadline_attainment(self) -> float:
+        """Fraction of deadline-bearing jobs that met their SLO.
+
+        1.0 when the trace carries no deadlines (an empty SLO is
+        vacuously attained), so legacy tables can print the column
+        without special-casing.
+        """
+        count = self.deadline_job_count
+        if count == 0:
+            return 1.0
+        return self.deadline_met_count / count
+
+    def mean_lateness_s(self) -> float:
+        """Mean lateness over the *missed* jobs (0.0 without misses)."""
+        if self.deadline_miss_count == 0:
+            return 0.0
+        return self.deadline_total_lateness_s / self.deadline_miss_count
 
     def uptime_cdf(self, points: int = 50) -> tuple[np.ndarray, np.ndarray]:
         """(uptime_hours, cumulative_fraction) pairs for the Figure 3 CDF."""

@@ -45,7 +45,12 @@ from repro.core.throughput_table import TaskPlacementObservation
 from repro.interference.model import InterferenceModel
 from repro.sim.accounting import ClusterAccounting
 from repro.sim.engine import Event, EventKind, EventQueue
-from repro.sim.metrics import AllocationIntegrator, JobOutcome, SimulationResult
+from repro.sim.metrics import (
+    AllocationIntegrator,
+    DeadlineOutcome,
+    JobOutcome,
+    SimulationResult,
+)
 from repro.workloads.trace import Trace
 
 #: Default scheduling period (§3 suggests e.g. 5 minutes).
@@ -334,6 +339,15 @@ class ClusterSimulator:
         max_sim_hours: Safety bound on simulated time.
         spot: Optional spot-market configuration (discounted, preemptible
             instances).
+        deadline_warning_s: Horizon of the
+            :class:`~repro.core.protocol.DeadlineApproaching` warning: a
+            deadline-bearing job's warning is emitted at the first
+            scheduling round within this many seconds of its deadline
+            (once per job — warnings are deduplicated across rounds).
+            ``None`` (the default) keeps the classic two-period horizon
+            — the round that could still react plus one period of slack;
+            large values tell deadline-aware policies about SLOs
+            essentially at arrival.
     """
 
     def __init__(
@@ -346,9 +360,12 @@ class ClusterSimulator:
         validate: bool = False,
         max_sim_hours: float = 24.0 * 365 * 10,
         spot: SpotConfig | None = None,
+        deadline_warning_s: float | None = None,
     ):
         if period_s <= 0:
             raise ValueError("period_s must be positive")
+        if deadline_warning_s is not None and deadline_warning_s < 0:
+            raise ValueError("deadline_warning_s must be >= 0")
         self.trace = trace
         self.scheduler = scheduler
         self.interference = interference or InterferenceModel()
@@ -388,9 +405,16 @@ class ClusterSimulator:
         #: Typed observations accumulated since the last scheduler call.
         self._pending_obs: list[Observation] = []
         #: Deadline warnings fire within this many seconds of a job's
-        #: deadline (two periods: the round that could still react plus
-        #: one of slack).
-        self.deadline_warning_s = 2.0 * period_s
+        #: deadline (default: two periods — the round that could still
+        #: react plus one of slack).
+        self.deadline_warning_s = (
+            2.0 * period_s if deadline_warning_s is None else deadline_warning_s
+        )
+        #: Jobs whose DeadlineApproaching warning was already emitted
+        #: (warnings are delivered once, not re-emitted every round).
+        self._deadline_warned: set[str] = set()
+        #: Finish-order SLO records of deadline-bearing jobs.
+        self._deadline_outcomes: list[DeadlineOutcome] = []
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -436,6 +460,12 @@ class ClusterSimulator:
             full_adoption_fraction=full_fraction,
             scheduling_rounds=self._rounds,
             preemptions=self._preemptions,
+            # Finish order (deterministic), i.e. the order the O(delta)
+            # totals accumulated in — so naive_deadline_totals over the
+            # stored records reproduces the totals bit for bit.
+            deadline_outcomes=tuple(self._deadline_outcomes),
+            deadline_miss_count=self._acct.deadline_misses,
+            deadline_total_lateness_s=self._acct.deadline_lateness_s,
         )
 
     # ------------------------------------------------------------------
@@ -551,16 +581,26 @@ class ClusterSimulator:
         scheduler call (arrivals, completions, eviction notices) in
         dispatch order, then deadline warnings for live deadline-bearing
         jobs (ascending job id), then per-job throughput reports.
+
+        A job's :class:`~repro.core.protocol.DeadlineApproaching`
+        warning is emitted exactly once — at the first round falling
+        within ``deadline_warning_s`` of its deadline — mirroring how
+        arrivals/completions fire once; consumers keep their own
+        deadline map (pruned against the snapshot) like eviction-notice
+        consumers do.
         """
         observations = self._pending_obs
         self._pending_obs = []
         for jid in sorted(live):
+            if jid in self._deadline_warned:
+                continue
             rt = self._jobs[jid]
             deadline_hours = rt.job.deadline_hours
             if deadline_hours is None:
                 continue
             deadline_s = rt.arrival_s + deadline_hours * 3600.0
             if self.now_s + self.deadline_warning_s >= deadline_s:
+                self._deadline_warned.add(jid)
                 observations.append(
                     DeadlineApproaching(job_id=jid, deadline_s=deadline_s)
                 )
@@ -662,6 +702,19 @@ class ClusterSimulator:
                 idle_hours=job_rt.idle_h,
             )
         )
+        deadline_hours = job_rt.job.deadline_hours
+        if deadline_hours is not None:
+            deadline_s = job_rt.arrival_s + deadline_hours * 3600.0
+            lateness_s = max(0.0, self.now_s - deadline_s)
+            self._deadline_outcomes.append(
+                DeadlineOutcome(
+                    job_id=job_id,
+                    deadline_s=deadline_s,
+                    finish_s=self.now_s,
+                    lateness_s=lateness_s,
+                )
+            )
+            self._acct.job_deadline_resolved(lateness_s)
         del self._jobs[job_id]
         self._pending_obs.append(JobFinished(job_id=job_id, time_s=self.now_s))
         self._refresh_rates(affected)
@@ -818,7 +871,9 @@ class ClusterSimulator:
         if self.validate:
             # Cross-check the O(delta) totals against the naive re-scan on
             # every accounting step (tests run with validate=True).
-            self._acct.verify(self._instances, self._tasks)
+            self._acct.verify(
+                self._instances, self._tasks, self._deadline_outcomes
+            )
         self._alloc.accumulate_totals(dt, self._acct)
         self._accounting_time_s = time_s
 
@@ -831,6 +886,7 @@ def run_simulation(
     period_s: float = DEFAULT_PERIOD_S,
     validate: bool = False,
     spot: SpotConfig | None = None,
+    deadline_warning_s: float | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``scheduler``."""
     sim = ClusterSimulator(
@@ -841,5 +897,6 @@ def run_simulation(
         period_s=period_s,
         validate=validate,
         spot=spot,
+        deadline_warning_s=deadline_warning_s,
     )
     return sim.run()

@@ -29,7 +29,12 @@ from scipy.optimize import brentq
 
 from repro.cluster.resources import ResourceVector
 from repro.cluster.task import DEFAULT_FAMILY, Job, Task
-from repro.workloads.trace import Trace, poisson_arrival_times, sort_jobs_by_arrival
+from repro.workloads.trace import (
+    Trace,
+    poisson_arrival_times,
+    sample_deadlines,
+    sort_jobs_by_arrival,
+)
 from repro.workloads.workloads import (
     CPU_WORKLOADS,
     GPU_WORKLOADS_BY_COUNT,
@@ -218,6 +223,8 @@ def synthesize_alibaba_trace(
     duration_model: AlibabaDurationModel | None = None,
     durations_hours: np.ndarray | None = None,
     name: str | None = None,
+    deadline_fraction: float = 0.0,
+    deadline_slack_range: tuple[float, float] = (1.5, 3.0),
 ) -> Trace:
     """Synthesize an Alibaba-like trace (documented substitution, DESIGN.md §2).
 
@@ -230,6 +237,15 @@ def synthesize_alibaba_trace(
             ``durations_hours`` instead for Table 14.
         durations_hours: Optional explicit per-job durations, overriding
             ``duration_model`` (used for the Gavel variant).
+        deadline_fraction: Expected fraction of jobs carrying a
+            ``deadline_hours`` SLO (duration × a slack factor drawn
+            uniformly from ``deadline_slack_range``; see
+            :func:`~repro.workloads.trace.sample_deadlines`).  ``0.0``
+            (the default) consumes nothing from the RNG stream, keeping
+            legacy traces byte-identical.
+        deadline_slack_range: Slack-factor range for the sampled
+            deadlines (the tightness axis of the ``deadline-slo``
+            experiment).
     """
     if num_jobs <= 0:
         raise ValueError("num_jobs must be positive")
@@ -248,6 +264,7 @@ def synthesize_alibaba_trace(
         jobs.append(
             _alibaba_job(idx, gpus, float(durations_hours[idx]), arrivals[idx], rng)
         )
+    jobs = sample_deadlines(jobs, rng, deadline_fraction, deadline_slack_range)
     return Trace(
         name=name or f"alibaba-like-{num_jobs}", jobs=sort_jobs_by_arrival(jobs)
     )

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.trace import Trace, poisson_arrival_times, sort_jobs_by_arrival
+from repro.workloads.trace import (
+    Trace,
+    _validate_deadline_knobs,
+    poisson_arrival_times,
+    sample_deadlines,
+    sort_jobs_by_arrival,
+)
 from repro.workloads.workloads import TABLE7_WORKLOADS, WorkloadSpec
 
 #: Default mean inter-arrival time used throughout the evaluation (§6.1).
@@ -26,17 +32,32 @@ def synthetic_trace(
     mean_interarrival_s: float = DEFAULT_INTERARRIVAL_S,
     workloads: tuple[WorkloadSpec, ...] = TABLE7_WORKLOADS,
     name: str | None = None,
+    deadline_fraction: float = 0.0,
+    deadline_slack_range: tuple[float, float] = (1.5, 3.0),
 ) -> Trace:
     """A physical-experiment-style trace.
 
     Jobs are sampled uniformly from ``workloads``; durations uniformly
     from ``duration_range_hours``; arrivals follow a Poisson process.
+
+    ``deadline_fraction`` makes that fraction of jobs (in expectation)
+    deadline-bearing: each selected job's ``deadline_hours`` is its
+    duration times a slack factor drawn uniformly from
+    ``deadline_slack_range`` (the deadline clock starts at arrival, so
+    slack must cover queueing, launch delays, and interference — a
+    factor near 1 is a near-unattainable SLO, the tightness axis of the
+    ``deadline-slo`` experiment).  The default ``0.0`` draws nothing
+    extra from the RNG stream, so legacy traces stay byte-identical;
+    with a positive fraction, the deadline draws happen after all
+    arrival/workload/duration draws, so sweeping tightness at a fixed
+    seed reuses the identical underlying job stream.
     """
     if num_jobs <= 0:
         raise ValueError("num_jobs must be positive")
     lo, hi = duration_range_hours
     if not 0 < lo <= hi:
         raise ValueError(f"invalid duration range {duration_range_hours}")
+    _validate_deadline_knobs(deadline_fraction, deadline_slack_range)
 
     rng = np.random.default_rng(seed)
     arrivals = poisson_arrival_times(num_jobs, mean_interarrival_s, rng)
@@ -51,6 +72,7 @@ def synthetic_trace(
                 job_id=f"syn-{idx:04d}",
             )
         )
+    jobs = sample_deadlines(jobs, rng, deadline_fraction, deadline_slack_range)
     return Trace(
         name=name or f"synthetic-{num_jobs}", jobs=sort_jobs_by_arrival(jobs)
     )

@@ -162,3 +162,49 @@ def poisson_arrival_times(
 
 def sort_jobs_by_arrival(jobs: Iterable[Job]) -> tuple[Job, ...]:
     return tuple(sorted(jobs, key=lambda j: (j.arrival_time_s, j.job_id)))
+
+
+def _validate_deadline_knobs(
+    deadline_fraction: float, deadline_slack_range: tuple[float, float]
+) -> None:
+    if not 0.0 <= deadline_fraction <= 1.0:
+        raise ValueError(
+            f"deadline_fraction must be in [0, 1], got {deadline_fraction}"
+        )
+    lo, hi = deadline_slack_range
+    if not 0.0 < lo <= hi:
+        raise ValueError(f"invalid deadline slack range {deadline_slack_range}")
+
+
+def sample_deadlines(
+    jobs: Sequence[Job],
+    rng: np.random.Generator,
+    deadline_fraction: float,
+    deadline_slack_range: tuple[float, float],
+) -> list[Job]:
+    """Attach sampled ``deadline_hours`` to ``deadline_fraction`` of jobs.
+
+    Shared tail of the deadline-bearing trace builders: each job draws an
+    inclusion uniform and a slack factor (``deadline_hours = duration ×
+    slack``, clock starting at arrival).  Both uniforms are drawn for
+    *every* job whenever the fraction is positive, so sweeping the
+    fraction or the slack range at a fixed seed keeps the draw stream —
+    and therefore which jobs fall under the fraction threshold — aligned
+    across sweep points.  A fraction of ``0.0`` consumes nothing from
+    ``rng`` and returns the jobs untouched, keeping legacy traces
+    byte-identical.
+    """
+    from dataclasses import replace
+
+    _validate_deadline_knobs(deadline_fraction, deadline_slack_range)
+    if deadline_fraction <= 0.0:
+        return list(jobs)
+    lo, hi = deadline_slack_range
+    out = []
+    for job in jobs:
+        take = float(rng.random()) < deadline_fraction
+        slack = float(rng.uniform(lo, hi))
+        if take:
+            job = replace(job, deadline_hours=job.duration_hours * slack)
+        out.append(job)
+    return out

@@ -65,6 +65,7 @@ class WorkloadSpec:
         arrival_time_s: float = 0.0,
         num_tasks: int | None = None,
         job_id: str | None = None,
+        deadline_hours: float | None = None,
     ) -> Job:
         """Instantiate a job of this workload."""
         return make_job(
@@ -75,6 +76,7 @@ class WorkloadSpec:
             num_tasks=num_tasks if num_tasks is not None else self.tasks_per_job,
             migration=self.migration(),
             job_id=job_id,
+            deadline_hours=deadline_hours,
         )
 
 

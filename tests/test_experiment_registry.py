@@ -29,6 +29,7 @@ from repro.workloads.alibaba import (
 from repro.workloads.synthetic import small_physical_trace
 
 ALL_IDS = {
+    "deadline-slo",
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
     "table01", "table04", "table05", "table06", "table07",
@@ -37,6 +38,7 @@ ALL_IDS = {
 }
 
 GRID_IDS = {
+    "deadline-slo",
     "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
     "table06", "table10", "table11", "table13", "table14",

@@ -96,6 +96,30 @@ class TestScenarioFingerprint:
             _scenario(spot=spot).fingerprint()
             != _scenario(spot=replace(spot, notice_s=600.0)).fingerprint()
         )
+        # The deadline warning horizon changes when deadline-aware
+        # policies learn about SLOs, hence results, hence the key.
+        assert _scenario(deadline_warning_s=3600.0).fingerprint() != base
+        # Deadline sampling knobs flow through the trace spec.
+        assert (
+            _scenario(
+                trace=TraceSpec.make(
+                    "synthetic",
+                    num_jobs=10,
+                    seed=1,
+                    deadline_fraction=0.5,
+                    deadline_slack_range=(1.3, 1.3),
+                )
+            ).fingerprint()
+            != _scenario(
+                trace=TraceSpec.make(
+                    "synthetic",
+                    num_jobs=10,
+                    seed=1,
+                    deadline_fraction=0.5,
+                    deadline_slack_range=(1.6, 1.6),
+                )
+            ).fingerprint()
+        )
 
     def test_inline_trace_fingerprints_by_content(self):
         spec = TraceSpec.make("small-physical", seed=0)

@@ -41,6 +41,12 @@ from repro.workloads.alibaba import (
 from repro.workloads.synthetic import small_physical_trace, synthetic_trace
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_digests.json"
+#: Deadline-SLO cells live in their own file so the legacy 23-cell
+#: matrix above is never rewritten by a deadline-side regeneration
+#: (regen runs select one test file/function, not one env var).
+GOLDEN_DEADLINE_PATH = (
+    Path(__file__).parent / "data" / "golden_digests_deadline.json"
+)
 
 #: Pinned so the digest does not move when a newer interpreter bumps
 #: ``pickle.HIGHEST_PROTOCOL``.
@@ -92,22 +98,14 @@ def _digest(cell_kwargs: dict, scheduler_name: str) -> str:
     ).hexdigest()
 
 
-def test_simulation_results_match_golden_digests():
-    cells = _matrix()
-    actual = {
-        cell_id: _digest(kwargs, scheduler)
-        for cell_id, scheduler, kwargs in cells
-    }
-
+def _check_against_golden(actual: dict[str, str], path: Path) -> None:
     if os.environ.get("EVA_REGEN_GOLDEN") == "1":
-        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
-        pytest.skip(f"regenerated {len(actual)} golden digests at {GOLDEN_PATH}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {len(actual)} golden digests at {path}")
 
-    assert GOLDEN_PATH.exists(), (
-        f"{GOLDEN_PATH} missing; regenerate with EVA_REGEN_GOLDEN=1"
-    )
-    golden = json.loads(GOLDEN_PATH.read_text())
+    assert path.exists(), f"{path} missing; regenerate with EVA_REGEN_GOLDEN=1"
+    golden = json.loads(path.read_text())
     assert set(actual) == set(golden), (
         "golden matrix cells changed; regenerate deliberately"
     )
@@ -120,3 +118,78 @@ def test_simulation_results_match_golden_digests():
         "SimulationResult digests drifted (byte-identity contract, see "
         f"module docstring): {sorted(drifted)}"
     )
+
+
+def test_simulation_results_match_golden_digests():
+    cells = _matrix()
+    actual = {
+        cell_id: _digest(kwargs, scheduler)
+        for cell_id, scheduler, kwargs in cells
+    }
+    _check_against_golden(actual, GOLDEN_PATH)
+
+
+def _deadline_matrix() -> list[tuple[str, str, dict]]:
+    """The deadline-SLO cells: deadline-bearing traces × warning windows.
+
+    Pins the whole new surface: deadline sampling in both trace
+    families, the once-per-job warning emission, the ``eva-deadline``
+    policy's urgency/extraction path, and the SLO fields of
+    ``SimulationResult`` — across the configurable warning horizon.
+    """
+    cells: list[tuple[str, str, dict]] = []
+    dl_syn = synthetic_trace(
+        16,
+        seed=5,
+        mean_interarrival_s=600.0,
+        deadline_fraction=0.5,
+        deadline_slack_range=(1.25, 1.25),
+        name="golden-dlsyn16",
+    )
+    for scheduler in ("eva", "eva-deadline", "no-packing"):
+        cells.append(
+            (
+                f"dlsyn16-{scheduler}",
+                scheduler,
+                {"trace": dl_syn, "deadline_warning_s": 7 * 24 * 3600.0},
+            )
+        )
+    # The classic two-period default horizon (deadline_warning_s=None).
+    cells.append(("dlsyn16-eva-deadline-defaultwarn", "eva-deadline", {"trace": dl_syn}))
+    dl_loose = synthetic_trace(
+        16,
+        seed=5,
+        mean_interarrival_s=600.0,
+        deadline_fraction=1.0,
+        deadline_slack_range=(1.5, 3.0),
+        name="golden-dlloose16",
+    )
+    cells.append(
+        (
+            "dlloose16-eva-deadline",
+            "eva-deadline",
+            {"trace": dl_loose, "deadline_warning_s": 7 * 24 * 3600.0},
+        )
+    )
+    dl_ali = synthesize_alibaba_trace(
+        40, seed=6, deadline_fraction=0.4, deadline_slack_range=(1.2, 2.0)
+    )
+    for scheduler in ("eva", "eva-deadline"):
+        cells.append(
+            (
+                f"dlali40-{scheduler}",
+                scheduler,
+                {"trace": dl_ali, "deadline_warning_s": 3600.0},
+            )
+        )
+    assert len(cells) == 7, f"deadline matrix drifted to {len(cells)} cells"
+    return cells
+
+
+def test_deadline_results_match_golden_digests():
+    cells = _deadline_matrix()
+    actual = {
+        cell_id: _digest(kwargs, scheduler)
+        for cell_id, scheduler, kwargs in cells
+    }
+    _check_against_golden(actual, GOLDEN_DEADLINE_PATH)

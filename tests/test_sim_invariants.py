@@ -37,8 +37,8 @@ from repro.core.protocol import (
     TerminateInstance,
     replay_decision,
 )
-from repro.sim.accounting import naive_totals
-from repro.sim.batch import Scenario, run_batch
+from repro.sim.accounting import naive_deadline_totals, naive_totals
+from repro.sim.batch import Scenario, TraceSpec, run_batch
 from repro.sim.metrics import AllocationIntegrator, SimulationResult
 from repro.sim.simulator import ClusterSimulator, SpotConfig, run_simulation
 from repro.workloads.synthetic import synthetic_trace
@@ -97,6 +97,67 @@ def check_invariants(
     assert result.migrations >= 0
     assert result.placements >= 0
     assert result.preemptions >= 0
+
+    # -- SLO accounting consistency ------------------------------------
+    check_slo_consistency(trace, result)
+
+
+def check_slo_consistency(trace: Trace, result: SimulationResult) -> None:
+    """The deadline-SLO records must be complete and self-consistent.
+
+    * exactly the deadline-bearing trace jobs have a record;
+    * every record's lateness re-derives from its own finish/deadline
+      and from the matching :class:`~repro.sim.metrics.JobOutcome`;
+    * attainment counts partition: met + missed == deadline-bearing
+      jobs <= all jobs, and zero total lateness iff zero misses;
+    * the naive re-scan of the records reproduces the incremental
+      O(delta) totals bit for bit (the records are stored in finish
+      order, the order the totals accumulated in).
+    """
+    deadline_jobs = {
+        j.job_id: j for j in trace if j.deadline_hours is not None
+    }
+    records = result.deadline_outcomes
+    assert {r.job_id for r in records} == set(deadline_jobs)
+    assert len(records) == len(deadline_jobs)
+    outcomes = {o.job_id: o for o in result.jobs}
+    for record in records:
+        job = deadline_jobs[record.job_id]
+        outcome = outcomes[record.job_id]
+        assert record.finish_s == outcome.finish_s
+        assert record.deadline_s == pytest.approx(
+            outcome.arrival_s + job.deadline_hours * 3600.0
+        )
+        assert record.lateness_s == max(
+            0.0, record.finish_s - record.deadline_s
+        )
+        assert record.met == (record.lateness_s == 0.0)
+
+    assert result.deadline_job_count == len(deadline_jobs)
+    assert 0 <= result.deadline_miss_count <= result.deadline_job_count
+    assert (
+        result.deadline_met_count + result.deadline_miss_count
+        == result.deadline_job_count
+        <= result.num_jobs
+    )
+    assert result.deadline_miss_count == sum(1 for r in records if not r.met)
+    assert (result.deadline_total_lateness_s == 0.0) == (
+        result.deadline_miss_count == 0
+    )
+    assert 0.0 <= result.deadline_attainment <= 1.0
+    if deadline_jobs:
+        assert result.deadline_attainment == (
+            result.deadline_met_count / result.deadline_job_count
+        )
+    else:
+        assert result.deadline_attainment == 1.0
+        assert result.deadline_total_lateness_s == 0.0
+
+    # Naive vs incremental SLO totals: byte-identical.
+    jobs, misses, lateness = naive_deadline_totals(records)
+    assert jobs == result.deadline_job_count
+    assert misses == result.deadline_miss_count
+    assert lateness == result.deadline_total_lateness_s
 
 
 @pytest.mark.parametrize("seed", range(6))
@@ -343,6 +404,139 @@ class TestIncrementalAccountingEquivalence:
             trace, make_scheduler("eva", catalog), validate=True
         )
         check_invariants(trace, result)
+
+
+def _fuzz_scenario(seed: int) -> Scenario:
+    """One seeded random scenario over the full configuration space.
+
+    Draws scheduler (deadline-aware, eviction-aware, Eva, baselines) ×
+    spot market (off / on, with and without notice windows) × deadline
+    knobs (fraction, tightness, warning horizon) × period, on top of a
+    seed-sized synthetic trace.  Everything derives from ``seed``, so a
+    failing case replays exactly; ``validate=True`` arms the per-event
+    accounting cross-check and decision replay inside the run itself.
+    """
+    rng = np.random.default_rng(100_000 + seed)
+    scheduler = ["eva", "eva-deadline", "eva-eviction-aware", "stratus",
+                 "no-packing", "owl"][int(rng.integers(6))]
+    num_jobs = int(rng.integers(3, 10))
+    deadline_fraction = float(rng.choice([0.0, 0.3, 0.7, 1.0]))
+    slack_lo = float(rng.uniform(1.02, 1.8))
+    slack_hi = slack_lo + float(rng.uniform(0.0, 1.5))
+    trace = TraceSpec.make(
+        "synthetic",
+        num_jobs=num_jobs,
+        seed=seed,
+        duration_range_hours=(float(rng.uniform(0.2, 0.5)),
+                              float(rng.uniform(0.6, 2.5))),
+        mean_interarrival_s=float(rng.choice([300.0, 600.0, 1200.0])),
+        deadline_fraction=deadline_fraction,
+        deadline_slack_range=(slack_lo, slack_hi),
+    )
+    spot = None
+    if rng.random() < 0.4:
+        spot = SpotConfig(
+            enabled=True,
+            preemption_rate_per_hour=float(rng.uniform(0.1, 0.6)),
+            seed=seed,
+            notice_s=float(rng.choice([0.0, 300.0, 600.0])),
+        )
+    deadline_warning_s = float(
+        rng.choice([0.0, 600.0, 3600.0, 7 * 24 * 3600.0])
+    )
+    return Scenario(
+        scheduler=scheduler,
+        trace=trace,
+        name=f"fuzz-{seed}",
+        spot=spot,
+        period_s=float(rng.choice([150.0, 300.0])),
+        validate=True,
+        seed=seed,
+        deadline_warning_s=deadline_warning_s,
+    )
+
+
+class _NaiveSLOSimulator(ClusterSimulator):
+    """Recomputes the SLO aggregates from scratch on every accounting step.
+
+    Overwrites the incremental counters with a full re-scan of the
+    finish-order records — results must stay byte-identical to the
+    O(delta) path.
+    """
+
+    def _account_until(self, time_s: float) -> None:
+        super()._account_until(time_s)
+        jobs, misses, lateness = naive_deadline_totals(self._deadline_outcomes)
+        self._acct.deadline_jobs = jobs
+        self._acct.deadline_misses = misses
+        self._acct.deadline_lateness_s = lateness
+
+
+class TestFuzzedScenarioInvariants:
+    """Property-style fuzz layer over the full scenario space.
+
+    Every generated case — scheduler × spot/notice × deadlines ×
+    warning horizon — must satisfy the conservation laws, keep the SLO
+    accounting consistent (naive == incremental, bit for bit), and
+    produce byte-identical results serially and through the parallel
+    batch path.
+    """
+
+    SEEDS = range(24)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzzed_scenario_preserves_invariants(self, seed):
+        scenario = _fuzz_scenario(seed)
+        outcome = run_batch([scenario], workers=1)[0]
+        trace = scenario.trace.build(default_seed=scenario.seed)
+        floor = 1.0
+        if scenario.spot is not None and scenario.spot.enabled:
+            floor = SimulatedCloud().spot_discount
+        check_invariants(trace, outcome.result, price_floor_factor=floor)
+
+    def test_fuzzed_scenarios_deterministic_serial_vs_parallel(self):
+        scenarios = [_fuzz_scenario(seed) for seed in self.SEEDS]
+        serial = run_batch(scenarios, workers=1)
+        parallel = run_batch(scenarios, workers=4)
+        for s_out, p_out in zip(serial, parallel):
+            assert pickle.dumps(s_out.result) == pickle.dumps(p_out.result), (
+                s_out.scenario.name
+            )
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    def test_fuzzed_slo_totals_naive_vs_incremental_byte_identical(
+        self, seed, catalog
+    ):
+        scenario = _fuzz_scenario(seed)
+        trace = scenario.trace.build(default_seed=scenario.seed)
+        results = []
+        for sim_cls in (ClusterSimulator, _NaiveSLOSimulator):
+            sim = sim_cls(
+                trace=trace,
+                scheduler=make_scheduler(scenario.scheduler, catalog),
+                period_s=scenario.period_s,
+                spot=scenario.spot,
+                deadline_warning_s=scenario.deadline_warning_s,
+            )
+            results.append(sim.run())
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    def test_fuzz_space_actually_covers_deadlines_and_schedulers(self):
+        """The generator must exercise the axes it claims to fuzz."""
+        scenarios = [_fuzz_scenario(seed) for seed in self.SEEDS]
+        assert len(scenarios) >= 20
+        schedulers = {s.scheduler for s in scenarios}
+        assert "eva-deadline" in schedulers
+        assert len(schedulers) >= 4
+        assert any(s.spot is not None and s.spot.notice_s > 0 for s in scenarios)
+        assert any(s.spot is None for s in scenarios)
+        deadline_jobs = 0
+        for scenario in scenarios:
+            trace = scenario.trace.build(default_seed=scenario.seed)
+            deadline_jobs += sum(
+                1 for j in trace if j.deadline_hours is not None
+            )
+        assert deadline_jobs > 10
 
 
 class TestAllocationIntegrator:

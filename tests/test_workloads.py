@@ -61,3 +61,74 @@ class TestTable7:
             assert workload(name).is_gpu_workload
         for name in CPU_WORKLOADS:
             assert not workload(name).is_gpu_workload
+
+
+class TestDeadlineSampling:
+    """The deadline_fraction / deadline_slack_range builder knobs."""
+
+    def test_zero_fraction_is_byte_identical_default(self):
+        from repro.workloads.synthetic import synthetic_trace
+
+        base = synthetic_trace(12, seed=7)
+        explicit = synthetic_trace(12, seed=7, deadline_fraction=0.0)
+        assert base == explicit
+        assert all(j.deadline_hours is None for j in base)
+
+    def test_deadlines_scale_duration_by_slack(self):
+        from repro.workloads.synthetic import synthetic_trace
+
+        trace = synthetic_trace(
+            30, seed=7, deadline_fraction=0.5, deadline_slack_range=(1.2, 1.8)
+        )
+        with_deadlines = [j for j in trace if j.deadline_hours is not None]
+        assert 0 < len(with_deadlines) < len(trace.jobs)
+        for job in with_deadlines:
+            slack = job.deadline_hours / job.duration_hours
+            assert 1.2 - 1e-9 <= slack <= 1.8 + 1e-9
+
+    def test_deadline_draws_do_not_disturb_job_stream(self):
+        """Sweeping tightness at a fixed seed keeps the identical jobs —
+        same ids, arrivals, durations, workloads — and the identical
+        subset of deadline-bearing jobs."""
+        from dataclasses import replace
+
+        from repro.workloads.synthetic import synthetic_trace
+
+        def strip(trace):
+            return tuple(replace(j, deadline_hours=None) for j in trace)
+
+        plain = synthetic_trace(20, seed=3)
+        tight = synthetic_trace(
+            20, seed=3, deadline_fraction=0.4, deadline_slack_range=(1.1, 1.1)
+        )
+        loose = synthetic_trace(
+            20, seed=3, deadline_fraction=0.4, deadline_slack_range=(2.5, 2.5)
+        )
+        assert strip(tight) == plain.jobs
+        assert strip(loose) == plain.jobs
+        assert [j.job_id for j in tight if j.deadline_hours is not None] == [
+            j.job_id for j in loose if j.deadline_hours is not None
+        ]
+
+    def test_alibaba_builder_supports_deadlines(self):
+        from repro.workloads.alibaba import synthesize_alibaba_trace
+
+        plain = synthesize_alibaba_trace(25, seed=2)
+        traced = synthesize_alibaba_trace(
+            25, seed=2, deadline_fraction=0.6, deadline_slack_range=(1.5, 2.0)
+        )
+        assert plain == synthesize_alibaba_trace(25, seed=2, deadline_fraction=0.0)
+        bearing = [j for j in traced if j.deadline_hours is not None]
+        assert bearing
+        for job in bearing:
+            assert 1.5 * job.duration_hours <= job.deadline_hours <= 2.0 * job.duration_hours + 1e-9
+
+    def test_knob_validation(self):
+        from repro.workloads.synthetic import synthetic_trace
+
+        with pytest.raises(ValueError, match="deadline_fraction"):
+            synthetic_trace(4, deadline_fraction=1.5)
+        with pytest.raises(ValueError, match="slack range"):
+            synthetic_trace(4, deadline_fraction=0.5, deadline_slack_range=(0.0, 1.0))
+        with pytest.raises(ValueError, match="slack range"):
+            synthetic_trace(4, deadline_fraction=0.5, deadline_slack_range=(2.0, 1.0))
