@@ -49,7 +49,10 @@ from repro.cloud.catalog import ec2_catalog  # noqa: E402
 from repro.core import make_scheduler  # noqa: E402
 from repro.experiments.common import bench_scale, scaled  # noqa: E402
 from repro.sim.simulator import ClusterSimulator  # noqa: E402
-from repro.workloads.alibaba import synthesize_alibaba_trace  # noqa: E402
+from repro.workloads.alibaba import (  # noqa: E402
+    alibaba_replay_trace,
+    synthesize_alibaba_trace,
+)
 from repro.workloads.synthetic import synthetic_trace  # noqa: E402
 
 
@@ -71,6 +74,15 @@ def _scenarios() -> list[tuple[str, object, str]]:
         (
             f"table13_alibaba{table13_jobs}_eva",
             synthesize_alibaba_trace(table13_jobs, seed=0),
+            "eva",
+        ),
+        (
+            # Replay-scale scenario: 10k jobs at full scale.  The name is
+            # fixed (not job-count-derived) because drift comparisons are
+            # scoped to runs with the same ``eva_bench_scale`` anyway, and
+            # per-run ``num_jobs`` is recorded in the scenario stats.
+            "table13_alibaba10k_eva",
+            alibaba_replay_trace(scaled(10_000, minimum=500, maximum=10_000), seed=0),
             "eva",
         ),
     ]
@@ -140,6 +152,63 @@ def _load_history(path: Path) -> dict:
     }
 
 
+def _check_drift(history: dict, record: dict) -> None:
+    """Compare each scenario's ``total_cost`` against the committed history.
+
+    The fingerprint must be byte-stable across engine optimizations.  For
+    every scenario in ``record``, the baseline is the most recent prior
+    run at the *same* ``eva_bench_scale`` that recorded that scenario.  A
+    mismatch prints both values and aborts (override with
+    ``EVA_BENCH_ALLOW_DRIFT=1`` when the change is intentional, e.g. a
+    deliberate trace/scenario edit).  A scenario with no prior record is
+    announced explicitly — never silently passed over — so a renamed or
+    missing scenario key cannot masquerade as "no drift".
+    """
+    allow = os.environ.get("EVA_BENCH_ALLOW_DRIFT") == "1"
+    scale = record["eva_bench_scale"]
+    drifted: list[str] = []
+    for name, stats in record["scenarios"].items():
+        baseline = None
+        for run in reversed(history.get("runs", [])):
+            if run.get("eva_bench_scale") != scale:
+                continue
+            prior = run.get("scenarios", {}).get(name)
+            if prior is not None and "total_cost" in prior:
+                baseline = (run.get("label", "?"), prior["total_cost"])
+                break
+        if baseline is None:
+            print(
+                f"[bench_hotpath] drift-check {name}: no prior record at "
+                f"scale {scale} — recording first baseline "
+                f"(total_cost={stats['total_cost']})",
+                flush=True,
+            )
+            continue
+        label, prior_cost = baseline
+        if prior_cost != stats["total_cost"]:
+            print(
+                f"[bench_hotpath] DRIFT in {name}: total_cost "
+                f"{stats['total_cost']} != baseline {prior_cost} "
+                f"(run '{label}', scale {scale})",
+                file=sys.stderr,
+                flush=True,
+            )
+            drifted.append(name)
+        else:
+            print(
+                f"[bench_hotpath] drift-check {name}: total_cost matches "
+                f"baseline ({prior_cost})",
+                flush=True,
+            )
+    if drifted and not allow:
+        raise SystemExit(
+            "[bench_hotpath] results fingerprint drifted for: "
+            + ", ".join(drifted)
+            + " — engine optimizations must not change simulation results. "
+            "Set EVA_BENCH_ALLOW_DRIFT=1 only for intentional scenario changes."
+        )
+
+
 def main() -> dict:
     from _util import git_sha  # local import: benchmarks/ is not a package
 
@@ -165,6 +234,7 @@ def main() -> dict:
 
     out_path = Path(os.environ.get("EVA_BENCH_HOTPATH_OUT", DEFAULT_HISTORY))
     history = _load_history(out_path)
+    _check_drift(history, record)
     history["runs"].append(record)
     out_path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
 

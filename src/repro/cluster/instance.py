@@ -8,7 +8,6 @@ packing algorithms and as the billing unit in the simulator.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceVector
@@ -58,7 +57,36 @@ def ghost_instance_type() -> InstanceType:
     )
 
 
-_instance_counter = itertools.count(1)
+class _InstanceCounter:
+    """Global id source for :func:`fresh_instance`.
+
+    Iterator-compatible with the ``itertools.count`` it replaces, plus a
+    readable :attr:`value` (ids handed out so far) so callers that replay
+    a memoized packing can advance the counter by exactly the number of
+    ids the real computation would have minted, keeping every later id —
+    and therefore every downstream tie-break on instance id — identical.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def __iter__(self) -> "_InstanceCounter":
+        return self
+
+    def __next__(self) -> int:
+        self.value += 1
+        return self.value
+
+    def advance(self, count: int) -> None:
+        """Consume ``count`` ids without constructing instances."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.value += count
+
+
+_instance_counter = _InstanceCounter()
 
 
 @dataclass(eq=False, slots=True)

@@ -60,7 +60,7 @@ from typing import Mapping, Sequence
 
 from repro.cloud.delays import DelayModel
 from repro.cluster.instance import InstanceType
-from repro.cluster.state import ClusterSnapshot, TargetConfiguration
+from repro.cluster.state import ClusterSnapshot
 from repro.core.evaluation import AssignmentEvaluator, TNRPCaches, TNRPEvaluator
 from repro.core.interfaces import JobThroughputReport
 from repro.core.protocol import DeadlineApproaching, Observation
@@ -225,10 +225,13 @@ class DeadlineAwareEvaScheduler(EvaScheduler):
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+    def _pre_schedule(self, snapshot: ClusterSnapshot) -> None:
+        # Runs on every round — including memoized no-op rounds — so the
+        # progress integrals and urgency map never go stale.  Urgency
+        # feeds the evaluator's cache token, which keys the round memo.
         self._update_progress(snapshot)
         self.last_urgency = self._compute_urgency(snapshot)
-        return super().schedule(snapshot)
+        super()._pre_schedule(snapshot)
 
     def make_evaluator(self, snapshot: ClusterSnapshot) -> AssignmentEvaluator:
         urgency = self.last_urgency

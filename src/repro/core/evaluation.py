@@ -140,8 +140,10 @@ class RPEvaluator(AssignmentEvaluator):
         return (task.workload, self.calculator.demand_signature(task))
 
     def cache_token(self) -> tuple | None:
-        # RP depends only on immutable task demands and the catalog.
-        return ("rp",)
+        # RP depends only on immutable task demands and the catalog; the
+        # catalog token keeps memo entries from leaking between schedulers
+        # priced against different catalogs.
+        return ("rp", self.calculator.catalog_token)
 
 
 # ----------------------------------------------------------------------
@@ -162,18 +164,34 @@ class TNRPCaches:
     ``version`` bumps), the TNRP memo never needs invalidation.
     """
 
-    __slots__ = ("tnrp", "set_value", "table_version")
+    __slots__ = ("tnrp", "set_value", "job_rp", "table_version", "catalog_token")
 
     def __init__(self) -> None:
         self.tnrp: dict[tuple[str, float], float] = {}
         self.set_value: dict[tuple[str, ...], float] = {}
+        #: job_id → RP(j).  Jobs are immutable, so the §4.4 whole-job RP
+        #: is stable across rounds; evaluators still recheck the job's
+        #: presence/arity in their per-round mapping before using it.
+        self.job_rp: dict[str, float] = {}
         self.table_version = -1
+        self.catalog_token: tuple | None = None
 
     def sync(self, table: CoLocationThroughputTable) -> None:
         version = table.version
         if version != self.table_version:
             self.set_value.clear()
             self.table_version = version
+
+    def bind(self, catalog_token: tuple) -> None:
+        """Tie the memos to one catalog.  Every cached value embeds RPs,
+        so an evaluator priced against a different catalog must not reuse
+        them: rebinding to a new token drops everything."""
+        if catalog_token != self.catalog_token:
+            if self.catalog_token is not None:
+                self.tnrp.clear()
+                self.set_value.clear()
+                self.job_rp.clear()
+            self.catalog_token = catalog_token
 
 
 class _TNRPPackState(PackState):
@@ -195,6 +213,11 @@ class _TNRPPackState(PackState):
         # only happen between rounds, via the monitor), so the fast-path
         # predicate is fixed at construction.
         self._fast = not evaluator.table.has_large_exact_entries()
+        #: Exact-path scan memo, cleared on every ``add``: for a fixed
+        #: member set, the member-sum and the candidate's throughput
+        #: depend only on the candidate's *workload*, so one computation
+        #: serves every same-workload candidate in Algorithm 1's scan.
+        self._scan_cache: dict[str, tuple[float, float]] = {}
         for task in tasks:
             self.add(task)
 
@@ -215,7 +238,8 @@ class _TNRPPackState(PackState):
         if not self._members:
             return self._member_tnrp(task, 1.0)
         if not self._fast_path():
-            return self._ev.set_value(self._members + [task])
+            member_sum, tput_cand = self.scan_entry(task.workload)
+            return member_sum + self._ev.tnrp_from_tput(task, tput_cand)
         total = 0.0
         w_new = task.workload
         tput_new = 1.0
@@ -227,7 +251,34 @@ class _TNRPPackState(PackState):
         total += tnrp(task, tput_new)
         return total
 
+    def scan_entry(self, workload: str) -> tuple[float, float]:
+        """Exact-path scan terms for a candidate of ``workload``.
+
+        Reproduces ``set_value(members + [candidate])`` term by term and
+        in the same accumulation order: member i sees neighbours
+        ``ws[:i] + ws[i+1:] + [w_cand]``, the candidate sees ``ws``.
+        Both the member sum and the candidate's throughput depend on the
+        candidate only through its workload, hence the per-workload memo
+        (shared by the scalar scan and the vector kernel).
+        """
+        entry = self._scan_cache.get(workload)
+        if entry is None:
+            ev = self._ev
+            tnrp = ev.tnrp_from_tput
+            tput = ev.table.tput
+            ws = self._workloads
+            member_sum = 0.0
+            for i, member in enumerate(self._members):
+                member_sum += tnrp(
+                    member, tput(ws[i], ws[:i] + ws[i + 1 :] + [workload])
+                )
+            entry = (member_sum, tput(workload, ws))
+            self._scan_cache[workload] = entry
+        return entry
+
     def add(self, task: Task) -> None:
+        if self._scan_cache:
+            self._scan_cache.clear()
         if self._fast_path() or not self._members:
             w_new = task.workload
             tput_new = 1.0
@@ -287,6 +338,11 @@ class TNRPEvaluator(AssignmentEvaluator):
     #: and their RPs are fixed for this evaluator's lifetime (one round).
     _job_rp_cache: dict[str, float | None] = field(default_factory=dict, repr=False)
 
+    def __post_init__(self) -> None:
+        # The shared caches hold RP-derived values; make sure they were
+        # not populated against a different catalog (satellite-1 bugfix).
+        self.caches.bind(self.calculator.catalog_token)
+
     def task_rp(self, task: Task) -> float:
         return self.calculator.rp(task)
 
@@ -298,11 +354,15 @@ class TNRPEvaluator(AssignmentEvaluator):
         if job_id in self._job_rp_cache:
             return self._job_rp_cache[job_id]
         job = self.jobs.get(job_id)
-        rp = (
-            self.calculator.rp_of_set(job.tasks)
-            if job is not None and job.is_multi_task
-            else None
-        )
+        if job is None or not job.is_multi_task:
+            rp = None
+        else:
+            # RP(j) is stable for an immutable job; share it across
+            # rounds (presence in this round's mapping checked above).
+            rp = self.caches.job_rp.get(job_id)
+            if rp is None:
+                rp = self.calculator.rp_of_set(job.tasks)
+                self.caches.job_rp[job_id] = rp
         self._job_rp_cache[job_id] = rp
         return rp
 
@@ -352,5 +412,12 @@ class TNRPEvaluator(AssignmentEvaluator):
         # TNRP additionally depends on the (mutable) throughput table;
         # its version counter epochs every value-changing update.  Job
         # RPs/arities are covered by the task ids in the pool
-        # fingerprint (jobs are immutable).
-        return ("tnrp", self.multi_task_aware, self.table.version)
+        # fingerprint (jobs are immutable).  The catalog token keeps memo
+        # entries from leaking between schedulers priced against
+        # different catalogs (satellite-1 bugfix).
+        return (
+            "tnrp",
+            self.multi_task_aware,
+            self.calculator.catalog_token,
+            self.table.version,
+        )

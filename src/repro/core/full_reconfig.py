@@ -35,6 +35,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.cluster.instance import Instance, InstanceType, fresh_instance
 from repro.cluster.resources import ResourceVector
 from repro.cluster.task import Task
+from repro.core import pack_kernel
 from repro.core.evaluation import AssignmentEvaluator
 
 _EPS = 1e-9
@@ -82,6 +83,16 @@ class _TaskPool:
         self._buckets = buckets
         self._ordered_keys = sorted(buckets)
         self._size = size
+        #: Mutation counter backing the fingerprint cache: Algorithm 1
+        #: fingerprints the pool once per (type, state) pack attempt, and
+        #: consecutive attempts over an unmutated pool reuse the tuple.
+        self._rev = 0
+        self._fp_rev = -1
+        self._fp: tuple = ()
+        #: Per-type restricted fingerprints (type name → (rev, fp)) and
+        #: per-(group, family) demand triples backing them.
+        self._fp_by_type: dict[str, tuple[int, tuple]] = {}
+        self._demand_by_key: dict[tuple, tuple[float, float, float]] = {}
 
     def _key(self, task: Task) -> tuple:
         key = self._key_by_id.get(task.task_id)
@@ -114,12 +125,14 @@ class _TaskPool:
             )
         popped = bucket.pop()
         self._size -= 1
+        self._rev += 1
         if not bucket:
             del self._buckets[key]
             del self._ordered_keys[bisect_left(self._ordered_keys, key)]
         return popped
 
     def push_back(self, tasks: Sequence[Task]) -> None:
+        self._rev += 1
         for task in tasks:
             key = self._key(task)
             bucket = self._buckets.get(key)
@@ -138,11 +151,52 @@ class _TaskPool:
         identically iff their fingerprints match (given the same
         evaluator state).
         """
+        if self._fp_rev != self._rev:
+            buckets = self._buckets
+            self._fp = tuple(
+                (key, tuple(t.task_id for t in buckets[key]))
+                for key in self._ordered_keys
+            )
+            self._fp_rev = self._rev
+        return self._fp
+
+    def fingerprint_for(self, itype: InstanceType) -> tuple:
+        """Fingerprint restricted to groups feasible on an empty ``itype``.
+
+        A group whose demand exceeds the type's full capacity can never
+        be chosen by the greedy scan (remaining capacity only shrinks),
+        so it cannot influence the pack outcome or the pop sequence —
+        two pools that agree on their feasible groups pack identically
+        on this type.  Feasibility mirrors :class:`_ArgmaxScan`'s test
+        (same ``_EPS`` slack) at full capacity.  All tasks in a group
+        share a demand signature, so the representative's demand decides
+        for the whole bucket.
+        """
+        cached = self._fp_by_type.get(itype.name)
+        if cached is not None and cached[0] == self._rev:
+            return cached[1]
+        cap = itype.capacity
+        family = itype.family
+        max_g = cap.gpus + _EPS
+        max_c = cap.cpus + _EPS
+        max_r = cap.ram_gb + _EPS
+        demands = self._demand_by_key
         buckets = self._buckets
-        return tuple(
-            (key, tuple(t.task_id for t in buckets[key]))
-            for key in self._ordered_keys
-        )
+        parts = []
+        for key in self._ordered_keys:
+            bucket = buckets[key]
+            dkey = (key, family)
+            d = demands.get(dkey)
+            if d is None:
+                vec = bucket[-1].demand_for(family)
+                d = (vec.gpus, vec.cpus, vec.ram_gb)
+                demands[dkey] = d
+            if d[0] > max_g or d[1] > max_c or d[2] > max_r:
+                continue
+            parts.append((key, tuple(t.task_id for t in bucket)))
+        fp = tuple(parts)
+        self._fp_by_type[itype.name] = (self._rev, fp)
+        return fp
 
     def drain(self) -> list[Task]:
         """Remove and return every task, in pop order (ascending group
@@ -155,6 +209,7 @@ class _TaskPool:
         self._buckets = {}
         self._ordered_keys = []
         self._size = 0
+        self._rev += 1
         return drained
 
 
@@ -243,25 +298,65 @@ class _ArgmaxScan:
         return best_task, best_rank[0]
 
 
+def _make_scan(
+    pool: _TaskPool, evaluator: AssignmentEvaluator, capacity, family: str
+):
+    """Pick the argmax implementation for one pack attempt.
+
+    The vectorized kernel (``EVA_PACK_KERNEL=numpy``, the default) takes
+    over when the pool is wide enough for the array setup to pay off;
+    both implementations make bit-identical decisions, so the choice is
+    pure mechanism (see :mod:`repro.core.pack_kernel`).
+    """
+    if pack_kernel.should_vectorize(evaluator, len(pool._ordered_keys)):
+        return pack_kernel.VectorScan(pool, evaluator, capacity, family)
+    return _ArgmaxScan(pool, evaluator, capacity, family)
+
+
 def _pack_one_instance(
     itype: InstanceType,
     pool: _TaskPool,
     evaluator: AssignmentEvaluator,
+    memo: "PackMemo | None" = None,
+    token: tuple | None = None,
 ) -> tuple[list[Task], float]:
-    """Greedy inner loop of Algorithm 1 (lines 6–13) for one instance."""
+    """Greedy inner loop of Algorithm 1 (lines 6–13) for one instance.
+
+    With a ``memo`` and a valid evaluator ``token``, the outcome is
+    memoized per ``(token, type, pool fingerprint)``: the greedy scan is
+    fully determined by the evaluator state (token), the type's capacity
+    and family (its name, within one catalog — and the token embeds the
+    catalog), and the pool's group/stack order (fingerprint).  A hit
+    replays the recorded pop sequence against the live pool, so pool
+    mutations — including the bucket rotation a later ``push_back``
+    causes after a rejected pack — are byte-identical to a real scan.
+    """
+    pack_key: tuple | None = None
+    if memo is not None and token is not None:
+        pack_key = (token, itype.name, pool.fingerprint_for(itype))
+        hit = memo.get_pack(pack_key)
+        if hit is not None:
+            pop_keys, value = hit
+            buckets = pool._buckets
+            return [pool.pop(buckets[key][-1]) for key in pop_keys], value
     chosen: list[Task] = []
+    pop_keys: list[tuple] = []
     state = evaluator.make_state()
-    scan = _ArgmaxScan(pool, evaluator, itype.capacity, itype.family)
+    scan = _make_scan(pool, evaluator, itype.capacity, itype.family)
     while True:
         best_task, best_value = scan.best(state)
         if best_task is None:
             break  # nothing fits (line 7 exit)
         if best_value < state.value - _EPS:
             break  # lines 9–11: adding would reduce the set's value
+        if pack_key is not None:
+            pop_keys.append(pool._key(best_task))
         pool.pop(best_task)
         state.add(best_task)
         chosen.append(best_task)
         scan.charge(best_task)
+    if pack_key is not None:
+        memo.put_pack(pack_key, (tuple(pop_keys), state.value))
     return chosen, state.value
 
 
@@ -280,11 +375,17 @@ class PackMemo:
     rounds, so a small cap suffices).
     """
 
-    __slots__ = ("_entries", "max_entries")
+    __slots__ = ("_entries", "max_entries", "_packs", "max_pack_entries")
 
-    def __init__(self, max_entries: int = 64):
+    def __init__(self, max_entries: int = 64, max_pack_entries: int = 8192):
         self._entries: dict[tuple, tuple] = {}
         self.max_entries = max_entries
+        #: Inner-loop memo: one entry per (token, type, pool fingerprint)
+        #: pack attempt — see :func:`_pack_one_instance`.  Entries are a
+        #: (pop-key sequence, value) pair, a few machine words each, so
+        #: the cap is generous.
+        self._packs: dict[tuple, tuple] = {}
+        self.max_pack_entries = max_pack_entries
 
     def get(self, key: tuple) -> tuple | None:
         return self._entries.get(key)
@@ -293,6 +394,14 @@ class PackMemo:
         if len(self._entries) >= self.max_entries:
             self._entries.clear()
         self._entries[key] = value
+
+    def get_pack(self, key: tuple) -> tuple | None:
+        return self._packs.get(key)
+
+    def put_pack(self, key: tuple, entry: tuple) -> None:
+        if len(self._packs) >= self.max_pack_entries:
+            self._packs.clear()
+        self._packs[key] = entry
 
 
 def full_reconfiguration(
@@ -323,6 +432,7 @@ def full_reconfiguration(
         raise ValueError("cost_margin must be >= 0")
     pool = _TaskPool(tasks, evaluator, group_identical)
     memo_key: tuple | None = None
+    token: tuple | None = None
     if memo is not None:
         token = evaluator.cache_token()
         if token is not None:
@@ -348,7 +458,9 @@ def full_reconfiguration(
     packed: list[PackedInstance] = []
     for itype in types_desc:
         while not pool.is_empty():
-            chosen, value = _pack_one_instance(itype, pool, evaluator)
+            chosen, value = _pack_one_instance(
+                itype, pool, evaluator, memo=memo, token=token
+            )
             threshold = itype.hourly_cost * (
                 1.0 + (cost_margin if len(chosen) > 1 else 0.0)
             )

@@ -30,9 +30,34 @@ class ThroughputMonitor:
 
     table: CoLocationThroughputTable = field(default_factory=CoLocationThroughputTable)
     reports_seen: int = 0
+    #: The previous round's report objects and whether ingesting them
+    #: left the table untouched — the fixpoint fast path below.
+    _last_reports: tuple[JobThroughputReport, ...] = field(
+        default=(), repr=False
+    )
+    _last_was_fixpoint: bool = field(default=False, repr=False)
 
     def ingest(self, reports: Sequence[JobThroughputReport]) -> None:
-        """Apply a round of job throughput reports to the table."""
+        """Apply a round of job throughput reports to the table.
+
+        Fast path: when this round's reports are the *same objects* as
+        last round's (steady state — the environment's placements did
+        not change) and last round's ingest changed nothing, re-applying
+        them is provably a no-op.  A changeless ingest means no entry
+        was added (adding always changes a value: ``None != tput``) and
+        no value moved, so the table state is identical to the state the
+        same reports were just applied to — every §4.4 attribution rule
+        takes the same branch and rewrites the same values.
+        """
+        last = self._last_reports
+        if (
+            self._last_was_fixpoint
+            and len(reports) == len(last)
+            and all(a is b for a, b in zip(reports, last))
+        ):
+            self.reports_seen += len(reports)
+            return
+        version_before = self.table.version
         for report in reports:
             self.reports_seen += 1
             if report.is_multi_task:
@@ -43,6 +68,8 @@ class ThroughputMonitor:
                 self.table.observe_single_task_job(
                     report.placements[0], report.normalized_tput
                 )
+        self._last_reports = tuple(reports)
+        self._last_was_fixpoint = self.table.version == version_before
 
     def tput(self, workload: str, neighbours: Sequence[str]) -> float:
         """Estimated normalized throughput for a prospective placement."""

@@ -1,0 +1,381 @@
+"""Vectorized TNRP/Algorithm-1 packing kernel (§4.2–§4.5).
+
+The greedy inner argmax of Algorithm 1 evaluates every candidate group
+("lane") against the instance's tentative task set each iteration.  The
+scalar scan (:class:`~repro.core.full_reconfig._ArgmaxScan`) does this
+one lane at a time in Python; this module batches the feasibility test
+and the (T)NRP evaluation over all lanes as NumPy float64 arrays held in
+a :class:`PackArrays` columnar structure, selected via the
+``EVA_PACK_KERNEL={scalar,numpy}`` knob.
+
+Bit-identity contract — the kernel must NOT change results:
+
+* Elementwise NumPy float64 ops round exactly like the equivalent Python
+  scalar expressions (one IEEE-754 operation per element, no FMA
+  contraction), so every lane's value is computed with the *same ops in
+  the same order* as the scalar code path it replaces.
+* Accumulation over the tentative set's members is member-ordered
+  (running vector sums/products, never ``np.sum``/``np.prod``, whose
+  pairwise reductions re-associate floats).
+* Ranking replicates the scalar ``(value, RP(τ), task_id)`` tuple
+  maximum through an exact-equality filter chain: max value, then max
+  RP among exact-value ties, then max task id (Python string compare).
+* The §4.4 / deadline-urgency formulas are selected per lane exactly as
+  the scalar :meth:`~repro.core.evaluation.TNRPEvaluator.tnrp_from_tput`
+  branches: single-task lanes use ``tput·RP``, multi-task lanes
+  ``RP − (1−tput)·RP(j)``, and ``u≠1`` lanes the urgency escalation
+  ``RP − (1−tput)·RP(charge)·u`` — ``u==1`` lanes take the stock branch.
+* When the throughput table holds exact entries larger than a pair, the
+  member-side sum is *not* pairwise-decomposable; those scalars come
+  from the pack state's exact-path scan memo (one table lookup chain per
+  distinct candidate workload) and only the per-lane candidate term is
+  vectorized.
+
+Lanes hold per-group *representative* scalars.  Groups pin workload,
+demand signature, and (for TNRP) job arity and urgency, so a lane's
+demand, RP, workload, and urgency survive a pop — but the §4.4 whole-job
+charge ``RP(j)`` belongs to the representative's *job* and siblings in a
+group can come from different jobs, so :meth:`VectorScan.charge`
+refreshes the lane's job charge (and task id) when the representative
+changes.
+
+The kernel engages per pack attempt when the lane count reaches
+``EVA_PACK_NUMPY_MIN_LANES`` (vector setup has a fixed cost that only
+amortizes over wide pools; replay-scale traces hit hundreds of lanes,
+the small Table-13 traces stay scalar) and only for the evaluator types
+whose value algebra it replicates; everything else falls back to the
+scalar scan.  NumPy itself is optional — without it the knob degrades to
+``scalar``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+try:  # pragma: no cover - numpy is part of the baked toolchain
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.cluster.task import Task
+from repro.core.evaluation import (
+    AssignmentEvaluator,
+    RPEvaluator,
+    TNRPEvaluator,
+    _TNRPPackState,
+)
+
+if TYPE_CHECKING:  # circular at runtime (full_reconfig imports us)
+    from repro.core.full_reconfig import _TaskPool
+
+__all__ = ["PackArrays", "VectorScan", "kernel_name", "should_vectorize"]
+
+_EPS = 1e-9
+
+#: Default lane-count floor below which vector setup costs more than the
+#: scalar scan; tests force 0 to exercise the kernel on tiny pools.
+_DEFAULT_MIN_LANES = 32
+
+
+def kernel_name() -> str:
+    """The selected kernel: ``numpy`` (default) or ``scalar``."""
+    name = os.environ.get("EVA_PACK_KERNEL", "numpy")
+    if name not in ("numpy", "scalar"):
+        raise ValueError(
+            f"EVA_PACK_KERNEL must be 'scalar' or 'numpy', got {name!r}"
+        )
+    return name
+
+
+def _min_lanes() -> int:
+    raw = os.environ.get("EVA_PACK_NUMPY_MIN_LANES")
+    return _DEFAULT_MIN_LANES if raw is None else int(raw)
+
+
+def _supported_evaluator(evaluator: AssignmentEvaluator) -> bool:
+    """Exact-type check: a subclass may override the value algebra the
+    kernel replicates, so only the three known evaluators qualify."""
+    t = type(evaluator)
+    if t in (RPEvaluator, TNRPEvaluator):
+        return True
+    # DeadlineTNRPEvaluator lives in repro.core.deadline, which imports
+    # the scheduler stack; import lazily to keep this module light.
+    from repro.core.deadline import DeadlineTNRPEvaluator
+
+    return t is DeadlineTNRPEvaluator
+
+
+def should_vectorize(evaluator: AssignmentEvaluator, num_lanes: int) -> bool:
+    """Whether a pack attempt with ``num_lanes`` candidate groups should
+    run on the vector kernel."""
+    return (
+        np is not None
+        and num_lanes >= _min_lanes()
+        and kernel_name() == "numpy"
+        and _supported_evaluator(evaluator)
+    )
+
+
+class PackArrays:
+    """Columnar lane state for one pack attempt.
+
+    One lane per candidate group of the task pool, aligned with the
+    pool's deterministic group order at construction.  Float columns are
+    NumPy float64; identity columns (representative task, task id) stay
+    Python objects because ranking ties break on string task ids.
+    """
+
+    __slots__ = (
+        "reps",
+        "task_ids",
+        "keys",
+        "workloads",
+        "gpus",
+        "cpus",
+        "ram",
+        "rp",
+        "job_rp",
+        "multi",
+        "urgency",
+        "alive",
+        "lane_by_key",
+    )
+
+    def __init__(
+        self, pool: "_TaskPool", evaluator: AssignmentEvaluator, family: str
+    ):
+        buckets = pool._buckets
+        keys = list(pool._ordered_keys)
+        reps = [buckets[key][-1] for key in keys]
+        n = len(reps)
+        self.keys = keys
+        self.reps = reps
+        self.task_ids = [t.task_id for t in reps]
+        self.workloads = [t.workload for t in reps]
+        self.lane_by_key = {key: i for i, key in enumerate(keys)}
+        gpus = np.empty(n)
+        cpus = np.empty(n)
+        ram = np.empty(n)
+        for i, task in enumerate(reps):
+            vec = task.demand_for(family)
+            gpus[i] = vec.gpus
+            cpus[i] = vec.cpus
+            ram[i] = vec.ram_gb
+        self.gpus = gpus
+        self.cpus = cpus
+        self.ram = ram
+        self.rp = np.array([evaluator.task_rp(t) for t in reps])
+        self.alive = np.ones(n, dtype=bool)
+        # §4.4 / urgency columns (TNRP evaluators only).
+        if isinstance(evaluator, TNRPEvaluator):
+            job_rp = np.empty(n)
+            multi = np.empty(n, dtype=bool)
+            for i, task in enumerate(reps):
+                rp_j = evaluator._job_rp(task)
+                multi[i] = rp_j is not None
+                job_rp[i] = 0.0 if rp_j is None else rp_j
+            self.job_rp = job_rp
+            self.multi = multi
+            urgency_map = getattr(evaluator, "urgency", None)
+            if urgency_map:
+                self.urgency = np.array(
+                    [urgency_map.get(t.job_id, 1.0) for t in reps]
+                )
+            else:
+                self.urgency = None
+        else:
+            self.job_rp = None
+            self.multi = None
+            self.urgency = None
+
+    def refresh_lane(
+        self, lane: int, rep: Task, evaluator: AssignmentEvaluator
+    ) -> None:
+        """Re-point a lane at its group's new representative.
+
+        Workload, demand, RP, and urgency are group invariants; the task
+        id and — for TNRP — the whole-job charge are per-task.
+        """
+        self.reps[lane] = rep
+        self.task_ids[lane] = rep.task_id
+        if self.job_rp is not None:
+            rp_j = evaluator._job_rp(rep)  # type: ignore[attr-defined]
+            self.multi[lane] = rp_j is not None
+            self.job_rp[lane] = 0.0 if rp_j is None else rp_j
+
+    def tnrp_of(self, tput):
+        """Vectorized ``tnrp_from_tput`` over all lanes for per-lane
+        throughputs ``tput`` — branch selection and operation order match
+        the scalar method exactly."""
+        rp = self.rp
+        stock = np.where(
+            self.multi, rp - (1.0 - tput) * self.job_rp, tput * rp
+        )
+        u = self.urgency
+        if u is None:
+            return stock
+        charge = np.where(self.multi, self.job_rp, rp)
+        escalated = rp - (1.0 - tput) * charge * u
+        return np.where(u == 1.0, stock, escalated)
+
+
+class VectorScan:
+    """Drop-in replacement for ``_ArgmaxScan`` running on :class:`PackArrays`.
+
+    Same interface (``best(state)`` / ``charge(task)``), same decisions
+    bit for bit — see the module docstring for the equivalence rules.
+    """
+
+    __slots__ = (
+        "_pool",
+        "_evaluator",
+        "_family",
+        "_arrays",
+        "_gpus",
+        "_cpus",
+        "_ram",
+        "_fwd",
+        "_bwd",
+        "_synced_members",
+        "_delta",
+    )
+
+    def __init__(
+        self, pool: "_TaskPool", evaluator: AssignmentEvaluator, capacity, family: str
+    ):
+        self._pool = pool
+        self._evaluator = evaluator
+        self._family = family
+        self._arrays = PackArrays(pool, evaluator, family)
+        self._gpus = capacity.gpus
+        self._cpus = capacity.cpus
+        self._ram = capacity.ram_gb
+        #: Per already-synced member i: pairwise rows against the lane
+        #: workloads — fwd[i][lane] = pairwise(w_member_i, w_lane) scales
+        #: the member's throughput, bwd[i][lane] = pairwise(w_lane,
+        #: w_member_i) scales the candidate's (argument order matters to
+        #: the table).
+        self._fwd: list = []
+        self._bwd: list = []
+        self._synced_members = 0
+        self._delta = None  # lazily built for delta-stable states
+
+    # -- interface shared with _ArgmaxScan ------------------------------
+    def charge(self, task: Task) -> None:
+        """Deduct demand and refresh the popped task's lane (the caller
+        pops from the pool before charging, so the bucket already shows
+        the next representative)."""
+        arrays = self._arrays
+        lane = arrays.lane_by_key.get(self._pool._key(task))
+        if lane is not None:
+            bucket = self._pool._buckets.get(arrays.keys[lane])
+            if bucket:
+                arrays.refresh_lane(lane, bucket[-1], self._evaluator)
+            else:
+                arrays.alive[lane] = False
+        # Clamped like ResourceVector.__sub__, mirroring _ArgmaxScan.
+        vec = task.demand_for(self._family)
+        self._gpus = max(0.0, self._gpus - vec.gpus)
+        self._cpus = max(0.0, self._cpus - vec.cpus)
+        self._ram = max(0.0, self._ram - vec.ram_gb)
+
+    def best(self, state) -> tuple[Task | None, float]:
+        arrays = self._arrays
+        feasible = (
+            arrays.alive
+            & (arrays.gpus <= self._gpus + _EPS)
+            & (arrays.cpus <= self._cpus + _EPS)
+            & (arrays.ram <= self._ram + _EPS)
+        )
+        if not feasible.any():
+            return None, -float("inf")
+        if state.delta_stable:
+            values = state.value + self._deltas(state)
+        else:
+            values = self._tnrp_values(state)
+        masked = np.where(feasible, values, -np.inf)
+        vmax = masked.max()
+        (tied,) = np.nonzero(masked == vmax)
+        if len(tied) > 1:
+            rp_tied = arrays.rp[tied]
+            tied = tied[rp_tied == rp_tied.max()]
+            if len(tied) > 1:
+                task_ids = arrays.task_ids
+                lane = max(tied, key=lambda i: task_ids[i])
+            else:
+                lane = tied[0]
+        else:
+            lane = tied[0]
+        return arrays.reps[lane], float(vmax)
+
+    # -- value kernels --------------------------------------------------
+    def _deltas(self, state):
+        """Member-independent per-lane increments (plain RP)."""
+        if self._delta is None:
+            self._delta = np.array(
+                [state.delta(rep) for rep in self._arrays.reps]
+            )
+        return self._delta
+
+    def _tnrp_values(self, state: _TNRPPackState):
+        arrays = self._arrays
+        members = state._members
+        if not members:
+            # Scalar short-circuit: an empty set values any candidate at
+            # tnrp(τ, 1.0) on both the pairwise and the exact path.
+            return arrays.tnrp_of(np.ones(len(arrays.reps)))
+        if not state._fast:
+            # Exact path: member sums and candidate throughputs are
+            # per-workload scalars from the state's scan memo (shared
+            # with the scalar path); only the candidate term vectorizes.
+            entries = {
+                w: state.scan_entry(w) for w in set(arrays.workloads)
+            }
+            member_sum = np.array(
+                [entries[w][0] for w in arrays.workloads]
+            )
+            tput_cand = np.array(
+                [entries[w][1] for w in arrays.workloads]
+            )
+            return member_sum + arrays.tnrp_of(tput_cand)
+        self._sync_pairwise(state)
+        ev = self._evaluator
+        n = len(arrays.reps)
+        acc = np.zeros(n)
+        tput_new = np.ones(n)
+        urgency_map = getattr(ev, "urgency", None)
+        for i, member in enumerate(members):
+            x = state._tputs[i] * self._fwd[i]
+            rp_m = ev.calculator.rp(member)
+            jrp_m = ev._job_rp(member)
+            u_m = (
+                urgency_map.get(member.job_id, 1.0) if urgency_map else 1.0
+            )
+            if u_m != 1.0:
+                charge = jrp_m if jrp_m is not None else rp_m
+                term = rp_m - (1.0 - x) * charge * u_m
+            elif jrp_m is not None:
+                term = rp_m - (1.0 - x) * jrp_m
+            else:
+                term = x * rp_m
+            acc = acc + term
+            tput_new = tput_new * self._bwd[i]
+        return acc + arrays.tnrp_of(tput_new)
+
+    def _sync_pairwise(self, state: _TNRPPackState) -> None:
+        """Extend the per-member pairwise rows to cover new members."""
+        members = state._members
+        if self._synced_members == len(members):
+            return
+        pairwise = self._evaluator.table.pairwise  # type: ignore[attr-defined]
+        workloads = self._arrays.workloads
+        for i in range(self._synced_members, len(members)):
+            w_m = members[i].workload
+            self._fwd.append(
+                np.array([pairwise(w_m, w_l) for w_l in workloads])
+            )
+            self._bwd.append(
+                np.array([pairwise(w_l, w_m) for w_l in workloads])
+            )
+        self._synced_members = len(members)

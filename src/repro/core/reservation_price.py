@@ -39,6 +39,14 @@ def _demand_signature(task: Task) -> tuple:
 class ReservationPriceCalculator:
     """Computes and caches reservation prices against an instance catalog.
 
+    The catalog is snapshotted (as a tuple) at construction: every memo
+    below — the signature cache, the per-task-id memo — is only valid
+    against the catalog the calculator was built with, so later mutation
+    of the caller's catalog list must not leak in.  :attr:`catalog_token`
+    names that snapshot; caches shared *across* calculators (pack memos,
+    evaluator set-value memos) must key on it, or two schedulers with
+    different catalogs sharing a cache would serve each other's prices.
+
     Attributes:
         catalog: Available instance types (ghost types are ignored).
     """
@@ -58,6 +66,9 @@ class ReservationPriceCalculator:
     _sig_by_task_id: dict[str, tuple] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        # Snapshot: memos below assume the catalog never changes under
+        # them, so sever the alias to the caller's (possibly mutable) list.
+        self.catalog = tuple(self.catalog)
         real_types = [it for it in self.catalog if not it.is_ghost]
         if not real_types:
             raise ValueError("catalog has no (non-ghost) instance types")
@@ -67,6 +78,21 @@ class ReservationPriceCalculator:
             "_by_cost_asc",
             sorted(real_types, key=lambda it: (it.hourly_cost, it.name)),
         )
+        object.__setattr__(
+            self,
+            "_catalog_token",
+            tuple(
+                (it.name, it.family, it.capacity.as_tuple(), it.hourly_cost)
+                for it in self.catalog
+            ),
+        )
+
+    @property
+    def catalog_token(self) -> tuple:
+        """Hashable content snapshot of the catalog this calculator prices
+        against.  Two calculators agree on every RP iff their tokens are
+        equal, so cross-calculator caches key their entries on it."""
+        return self._catalog_token  # type: ignore[attr-defined]
 
     def rp_type(self, task: Task) -> InstanceType:
         """The reservation-price instance type: cheapest feasible for ``task``."""

@@ -19,11 +19,12 @@ Eva Full-only       ``enable_partial=False`` (Figure 5b)
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.cloud.delays import DelayModel
-from repro.cluster.instance import InstanceType
+from repro.cluster.instance import InstanceType, _instance_counter
 from repro.cluster.state import (
     ClusterSnapshot,
     TargetConfiguration,
@@ -46,12 +47,15 @@ from repro.core.monitor import ThroughputMonitor
 from repro.core.partial_reconfig import partial_reconfiguration
 from repro.core.protocol import (
     AssignTask,
+    Decision,
     LaunchInstance,
     MigrateTask,
     Observation,
     SpotEvictionNotice,
     TerminateInstance,
     count_job_events,
+    diff_target,
+    throughput_reports,
 )
 from repro.core.reservation_price import ReservationPriceCalculator
 from repro.core.throughput_table import CoLocationThroughputTable
@@ -96,6 +100,34 @@ def _to_target(packed: Sequence[PackedInstance]) -> TargetConfiguration:
     )
 
 
+#: Cap on retained round-memo entries; cleared wholesale like PackMemo so
+#: long phase-changing workloads cannot grow the memo without bound.
+_ROUND_MEMO_CAP = 256
+
+
+@dataclass(frozen=True, slots=True)
+class _RoundMemoEntry:
+    """One memoized no-op round (see :meth:`EvaScheduler.decide`).
+
+    Replaying a round must leave every piece of scheduler-external state
+    exactly as the real computation would: ``mint_count`` advances the
+    global instance-id counter by the number of ids the packing would
+    have consumed (downstream tie-breaks sort on ids), and the stored
+    Equation-1 inputs let the hit path re-run the ensemble choice under
+    the *current* D̂ — which changes every round — before trusting the
+    cached decision.
+    """
+
+    decision: Decision
+    mint_count: int
+    has_ensemble: bool
+    saving_full: float
+    saving_partial: float
+    migration_full: float
+    migration_partial: float
+    adopted_full: bool
+
+
 class EvaScheduler(Scheduler):
     """The Eva cluster scheduler."""
 
@@ -130,6 +162,23 @@ class EvaScheduler(Scheduler):
         #: estimator.
         self._pending_job_events: int | None = None
         self.last_decision: ReconfigDecision | None = None
+        #: Round-decision memo (no-op steady-state rounds short-circuit
+        #: the whole packing pipeline).  ``None`` when disabled: by the
+        #: ``EVA_ROUND_MEMO=0`` knob (equivalence testing), under a
+        #: stochastic delay model (migration costing draws the RNG, so a
+        #: replay would desynchronize the stream), or when a subclass
+        #: overrides :meth:`schedule` wholesale (its extra logic would be
+        #: skipped on hits).
+        self._round_memo: dict[tuple, _RoundMemoEntry] | None = None
+        if (
+            os.environ.get("EVA_ROUND_MEMO", "1") != "0"
+            and not self.delay_model.stochastic
+            and type(self).schedule is EvaScheduler.schedule
+        ):
+            self._round_memo = {}
+        #: Last computed round key, keyed by the identity of the snapshot
+        #: collections it was derived from (see :meth:`_round_key`).
+        self._round_key_cache: tuple | None = None
 
     def _default_name(self) -> str:
         if not self.config.interference_aware:
@@ -175,9 +224,34 @@ class EvaScheduler(Scheduler):
         )
 
     def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
-        self._track_events(snapshot)
-        evaluator = self.make_evaluator(snapshot)
+        self._pre_schedule(snapshot)
+        packing_snapshot = self._packing_snapshot(snapshot)
+        return self._schedule_core(
+            packing_snapshot, self.make_evaluator(packing_snapshot)
+        )
 
+    def _pre_schedule(self, snapshot: ClusterSnapshot) -> None:
+        """Per-round bookkeeping that must run even on memoized rounds.
+
+        Subclasses extend this (progress integration, notice pruning)
+        instead of overriding :meth:`schedule`, so the round memo can
+        short-circuit the packing pipeline without skipping their state
+        updates.
+        """
+        self._track_events(snapshot)
+
+    def _packing_snapshot(self, snapshot: ClusterSnapshot) -> ClusterSnapshot:
+        """The snapshot Algorithm 1 packs against (hook; default: as-is).
+
+        :meth:`decide` always diffs the chosen target against the
+        *original* snapshot, so a subclass hiding instances here still
+        emits the migrations/terminations that drain them.
+        """
+        return snapshot
+
+    def _schedule_core(
+        self, snapshot: ClusterSnapshot, evaluator: AssignmentEvaluator
+    ) -> TargetConfiguration:
         full_cfg = (
             self._full_candidate(snapshot, evaluator)
             if self.config.enable_full
@@ -199,6 +273,144 @@ class EvaScheduler(Scheduler):
         assert chosen is not None
         self.last_decision = None
         return chosen
+
+    # ------------------------------------------------------------------
+    # Round-decision memo
+    # ------------------------------------------------------------------
+    def _round_key_extra(self) -> tuple:
+        """Subclass hook: extra state the round outcome depends on."""
+        return ()
+
+    def _round_key(
+        self, snapshot: ClusterSnapshot, evaluator: AssignmentEvaluator
+    ) -> tuple | None:
+        token = evaluator.cache_token()
+        if token is None:
+            return None
+        extra = self._round_key_extra()
+        # Identity fast path: the simulator reuses the snapshot's task
+        # mapping and instance tuple (treated as immutable by contract)
+        # while its placement epoch stands still, so the same objects
+        # plus an equal token/extra mean an equal key.
+        cached = self._round_key_cache
+        if (
+            cached is not None
+            and cached[0] is snapshot.tasks
+            and cached[1] is snapshot.instances
+            and cached[2] == token
+            and cached[3] == extra
+        ):
+            return cached[4]
+        key = (
+            token,
+            tuple(sorted(snapshot.tasks)),
+            tuple(
+                (st.instance_id, st.instance_type.name, tuple(sorted(st.task_ids)))
+                for st in snapshot.instances
+            ),
+            extra,
+        )
+        self._round_key_cache = (
+            snapshot.tasks,
+            snapshot.instances,
+            token,
+            extra,
+            key,
+        )
+        return key
+
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        observations: tuple[Observation, ...] = (),
+    ) -> Decision:
+        """One round, with no-op steady-state rounds memoized.
+
+        Between job events the cluster state the packing depends on —
+        task pool, placements, throughput-table epoch — is typically
+        unchanged round over round, and the resulting decision is "do
+        nothing".  Recomputing both reconfiguration candidates every
+        round just to rediscover that dominates simulated wall time, so
+        decisions with **no actions** are memoized on the exact state
+        they were computed from.  A hit replays the round's observable
+        side effects precisely: the instance-id counter advances by the
+        number of ids the packing would have minted, and Equation 1 is
+        re-evaluated under the current D̂ — if the adoption choice would
+        flip, the hit is abandoned and the round recomputed for real.
+        Decisions *with* actions are never cached (their launch actions
+        embed freshly minted instance ids).
+        """
+        self.on_throughput_reports(throughput_reports(observations))
+        self.observe(observations)
+        memo = self._round_memo
+        if memo is None:
+            return diff_target(snapshot, self.schedule(snapshot))
+
+        self._pre_schedule(snapshot)
+        packing_snapshot = self._packing_snapshot(snapshot)
+        evaluator = self.make_evaluator(packing_snapshot)
+        key = self._round_key(packing_snapshot, evaluator)
+
+        entry = memo.get(key) if key is not None else None
+        if entry is not None:
+            replayed = self._replay_round(entry)
+            if replayed is not None:
+                return replayed
+
+        before = _instance_counter.value
+        target = self._schedule_core(packing_snapshot, evaluator)
+        mint_count = _instance_counter.value - before
+        decision = diff_target(snapshot, target)
+        if key is not None and not decision.actions:
+            if len(memo) >= _ROUND_MEMO_CAP:
+                memo.clear()
+            rd = self.last_decision
+            memo[key] = _RoundMemoEntry(
+                decision=decision,
+                mint_count=mint_count,
+                has_ensemble=rd is not None,
+                saving_full=rd.saving_full if rd is not None else 0.0,
+                saving_partial=rd.saving_partial if rd is not None else 0.0,
+                migration_full=rd.migration_full if rd is not None else 0.0,
+                migration_partial=rd.migration_partial if rd is not None else 0.0,
+                adopted_full=rd.adopted_full if rd is not None else False,
+            )
+        return decision
+
+    def _replay_round(self, entry: _RoundMemoEntry) -> Decision | None:
+        """Replay a memoized no-op round, or None to force a recompute.
+
+        D̂ moves every round (the estimator's observation window grows),
+        so the Equation-1 comparison is re-run with the stored savings
+        and migration costs; only when it lands on the same branch is
+        the cached decision trusted — the ensemble bookkeeping (history,
+        adoption counts) is then replayed with the fresh D̂ exactly as
+        :meth:`EnsemblePolicy.decide` would have recorded it.
+        """
+        if not entry.has_ensemble:
+            _instance_counter.advance(entry.mint_count)
+            self.last_decision = None
+            return entry.decision
+        d_hat = self.policy.estimator.estimated_duration_hours()
+        adopted_full = (
+            entry.saving_full * d_hat - entry.migration_full
+            > entry.saving_partial * d_hat - entry.migration_partial
+        )
+        if adopted_full != entry.adopted_full:
+            return None
+        _instance_counter.advance(entry.mint_count)
+        decision = ReconfigDecision(
+            adopted_full=adopted_full,
+            saving_full=entry.saving_full,
+            saving_partial=entry.saving_partial,
+            migration_full=entry.migration_full,
+            migration_partial=entry.migration_partial,
+            duration_estimate_hours=d_hat,
+        )
+        self.policy.history.append(decision)
+        self.policy.estimator.record_decision(adopted_full)
+        self.last_decision = decision
+        return entry.decision
 
     # ------------------------------------------------------------------
     # Candidates
@@ -321,14 +533,23 @@ class EvictionAwareEvaScheduler(EvaScheduler):
             if isinstance(obs, SpotEvictionNotice):
                 self._eviction_notices[obs.instance_id] = obs.eviction_time_s
 
-    def schedule(self, snapshot: ClusterSnapshot) -> TargetConfiguration:
+    def _pre_schedule(self, snapshot: ClusterSnapshot) -> None:
         live_ids = {state.instance_id for state in snapshot.instances}
         self._eviction_notices = {
             iid: t for iid, t in self._eviction_notices.items() if iid in live_ids
         }
+        super()._pre_schedule(snapshot)
+
+    def _packing_snapshot(self, snapshot: ClusterSnapshot) -> ClusterSnapshot:
         if self._eviction_notices:
-            snapshot = self._without_doomed(snapshot)
-        return super().schedule(snapshot)
+            return self._without_doomed(snapshot)
+        return snapshot
+
+    def _round_key_extra(self) -> tuple:
+        # A doomed instance changes the decision (drain + terminate)
+        # even though the packing snapshot hides it, so pending notices
+        # must partition the memo.
+        return tuple(sorted(self._eviction_notices.items()))
 
     def _without_doomed(self, snapshot: ClusterSnapshot) -> ClusterSnapshot:
         """The snapshot with doomed instances hidden from packing.

@@ -199,6 +199,37 @@ class CoLocationThroughputTable:
             return lowest
         return None
 
+    def sync(
+        self,
+        entries: Mapping[tuple[str, Sequence[str]], float]
+        | "CoLocationThroughputTable",
+    ) -> int:
+        """Bulk-merge exact entries from a snapshot or another table.
+
+        Every entry is routed through :meth:`_record`, so the pairwise
+        mirror, the lookup memo, and the :attr:`version` epoch behave
+        exactly as if each value had been observed online — a direct dict
+        merge here would silently skip the epoch bump and let downstream
+        caches (``TNRPCaches``, ``PackMemo``) serve stale throughputs.
+
+        Returns the number of value-changing entries merged.
+        """
+        if isinstance(entries, CoLocationThroughputTable):
+            items: Iterable[tuple[tuple[str, Sequence[str]], float]] = (
+                entries._exact.items()
+            )
+        else:
+            items = entries.items()
+        before = self._version
+        for (workload, neighbours), tput in sorted(items):
+            self._record(
+                TaskPlacementObservation(
+                    workload=workload, neighbours=tuple(neighbours)
+                ),
+                tput,
+            )
+        return self._version - before
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -139,6 +139,8 @@ def _register_builtin_builders() -> None:
         alibaba_gavel_trace,
         alibaba_multi_gpu_trace,
         alibaba_multi_task_trace,
+        alibaba_replay_trace,
+        gavel_replay_trace,
         synthesize_alibaba_trace,
     )
     from repro.workloads.synthetic import (
@@ -149,6 +151,8 @@ def _register_builtin_builders() -> None:
 
     register_trace_builder("alibaba", synthesize_alibaba_trace)
     register_trace_builder("alibaba-gavel", alibaba_gavel_trace)
+    register_trace_builder("alibaba-replay", alibaba_replay_trace)
+    register_trace_builder("gavel-replay", gavel_replay_trace)
     register_trace_builder("alibaba-multi-gpu", alibaba_multi_gpu_trace)
     register_trace_builder("alibaba-multi-task", alibaba_multi_task_trace)
     register_trace_builder("synthetic", synthetic_trace)

@@ -4,6 +4,8 @@ from repro.workloads.alibaba import (
     AlibabaDurationModel,
     FULL_TRACE_JOBS,
     TABLE8_GPU_COMPOSITION,
+    alibaba_replay_trace,
+    gavel_replay_trace,
     remix_multi_gpu,
     remix_multi_task,
     synthesize_alibaba_trace,
@@ -33,6 +35,8 @@ __all__ = [
     "AlibabaDurationModel",
     "FULL_TRACE_JOBS",
     "TABLE8_GPU_COMPOSITION",
+    "alibaba_replay_trace",
+    "gavel_replay_trace",
     "remix_multi_gpu",
     "remix_multi_task",
     "synthesize_alibaba_trace",

@@ -1,0 +1,358 @@
+"""Equivalence, tie-break, and selection tests for the vectorized
+packing kernel (:mod:`repro.core.pack_kernel`).
+
+The kernel's contract is bit-identity with the scalar ``_ArgmaxScan``:
+same pick, same value, same tie-breaks, on every iteration of
+Algorithm 1's greedy loop.  These tests drive both implementations over
+crafted ties and randomized pools and require exact equality — no
+``approx`` anywhere.
+"""
+
+import os
+from contextlib import contextmanager
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.catalog import ec2_catalog
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import make_job
+from repro.core import pack_kernel
+from repro.core.deadline import DeadlineTNRPEvaluator
+from repro.core.evaluation import RPEvaluator, TNRPEvaluator
+from repro.core.full_reconfig import (
+    _ArgmaxScan,
+    _TaskPool,
+    _pack_one_instance,
+    configuration_cost,
+    full_reconfiguration,
+)
+from repro.core.pack_kernel import VectorScan, kernel_name, should_vectorize
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.core.throughput_table import (
+    CoLocationThroughputTable,
+    TaskPlacementObservation,
+)
+from repro.workloads.synthetic import microbench_task_pool
+
+pytestmark = pytest.mark.skipif(
+    pack_kernel.np is None, reason="numpy not available"
+)
+
+CATALOG = ec2_catalog()
+
+
+@contextmanager
+def kernel_env(kernel: str = "numpy", min_lanes: str = "0"):
+    """Force a kernel choice regardless of pool width."""
+    env = {"EVA_PACK_KERNEL": kernel, "EVA_PACK_NUMPY_MIN_LANES": min_lanes}
+    with mock.patch.dict(os.environ, env):
+        yield
+
+
+def _single(workload, demand, rp_hint=None, job_id=None):
+    job = make_job(
+        workload, {"*": demand}, duration_hours=1.0, job_id=job_id
+    )
+    return job.tasks[0]
+
+
+def _drive(scan, evaluator, pool):
+    """Run Algorithm 1's greedy loop to exhaustion; return the pick log."""
+    state = evaluator.make_state()
+    picks = []
+    while True:
+        task, value = scan.best(state)
+        if task is None or value < state.value - 1e-9:
+            break
+        picks.append((task.task_id, value))
+        pool.pop(task)
+        state.add(task)
+        scan.charge(task)
+    return picks
+
+
+def _both_kernels(tasks, make_evaluator, itype):
+    """Drive a fresh scalar and a fresh vector scan over the same tasks."""
+    logs = []
+    for scan_cls in (_ArgmaxScan, VectorScan):
+        evaluator = make_evaluator()
+        pool = _TaskPool(tasks, evaluator, True)
+        scan = scan_cls(pool, evaluator, itype.capacity, itype.family)
+        logs.append(_drive(scan, evaluator, pool))
+    return logs
+
+
+class TestKernelSelection:
+    def test_kernel_name_default_and_validation(self):
+        with mock.patch.dict(os.environ):
+            os.environ.pop("EVA_PACK_KERNEL", None)
+            assert kernel_name() == "numpy"
+            os.environ["EVA_PACK_KERNEL"] = "scalar"
+            assert kernel_name() == "scalar"
+            os.environ["EVA_PACK_KERNEL"] = "cuda"
+            with pytest.raises(ValueError):
+                kernel_name()
+
+    def test_min_lanes_gates_engagement(self):
+        calc = ReservationPriceCalculator(CATALOG)
+        ev = RPEvaluator(calc)
+        with kernel_env(min_lanes="32"):
+            assert not should_vectorize(ev, 31)
+            assert should_vectorize(ev, 32)
+        with kernel_env(kernel="scalar"):
+            assert not should_vectorize(ev, 1000)
+
+    def test_unsupported_evaluator_subclass_falls_back(self):
+        """A subclass may override the value algebra; only the exact
+        known types qualify."""
+
+        class CustomRP(RPEvaluator):
+            pass
+
+        calc = ReservationPriceCalculator(CATALOG)
+        with kernel_env():
+            assert should_vectorize(RPEvaluator(calc), 1)
+            assert not should_vectorize(CustomRP(calc), 1)
+
+    def test_make_scan_respects_knob(self):
+        from repro.core.full_reconfig import _make_scan
+
+        calc = ReservationPriceCalculator(CATALOG)
+        ev = RPEvaluator(calc)
+        pool = _TaskPool(microbench_task_pool(6, seed=0), ev, True)
+        itype = CATALOG[0]
+        with kernel_env():
+            assert isinstance(
+                _make_scan(pool, ev, itype.capacity, itype.family), VectorScan
+            )
+        with kernel_env(kernel="scalar"):
+            assert isinstance(
+                _make_scan(pool, ev, itype.capacity, itype.family), _ArgmaxScan
+            )
+
+
+def _cheapest_hosting(demand):
+    """The RP type for a demand — used to craft exact RP ties."""
+    calc = ReservationPriceCalculator(CATALOG)
+    return calc.rp(_single("probe", demand))
+
+
+class TestTieBreaks:
+    """Crafted exact ties: the vector filter chain must reproduce the
+    scalar ``(value, RP, task_id)`` tuple maximum."""
+
+    def test_equal_value_equal_rp_breaks_on_task_id(self):
+        # Distinct workloads → distinct groups; identical demands → the
+        # same RP and (for plain RP) the same value.  The winner must be
+        # the maximal task id, at every step.
+        demand = ResourceVector(0, 4, 8)
+        tasks = [
+            _single(f"w{i}", demand, job_id=f"job{i}") for i in range(8)
+        ]
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(CATALOG, key=lambda it: it.capacity.cpus)
+        scalar, vector = _both_kernels(tasks, lambda: RPEvaluator(calc), itype)
+        assert scalar == vector
+        # And the first pick is genuinely the lexicographic max id.
+        assert scalar[0][0] == max(t.task_id for t in tasks)
+
+    def test_equal_value_breaks_on_higher_rp(self):
+        # Seed the set with a member M, then craft two candidates whose
+        # TNRP against {M} ties exactly while their RPs differ: A has
+        # rp=2·rp_B but tput 0.5 next to M (single-task TNRP = tput·RP).
+        demand_a = ResourceVector(1, 4, 16)  # hosted by a GPU type
+        demand_b = ResourceVector(0, 2, 4)
+        rp_a = _cheapest_hosting(demand_a)
+        rp_b = _cheapest_hosting(demand_b)
+        table = CoLocationThroughputTable(default_tput=1.0)
+        # tput(A | M) chosen so value_A == value_B == rp_b exactly; the
+        # ratio is a dyadic rational whenever rp_b/rp_a is, keeping the
+        # product exact in float64.
+        ratio = rp_b / rp_a
+        assert 0.0 < ratio < 1.0
+        table.observe_single_task_job(
+            TaskPlacementObservation("wa", ("wm",)), ratio
+        )
+        # M is unaffected by either candidate → the member term cancels.
+        table.observe_single_task_job(
+            TaskPlacementObservation("wm", ("wa",)), 1.0
+        )
+        table.observe_single_task_job(
+            TaskPlacementObservation("wm", ("wb",)), 1.0
+        )
+        member = _single("wm", ResourceVector(0, 1, 2), job_id="jm")
+        cand_a = _single("wa", demand_a, job_id="ja")
+        cand_b = _single("wb", demand_b, job_id="jb")
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(
+            CATALOG, key=lambda it: (it.capacity.gpus, it.capacity.ram_gb)
+        )
+        picks = []
+        for scan_cls in (_ArgmaxScan, VectorScan):
+            ev = TNRPEvaluator(calc, table, jobs={})
+            pool = _TaskPool([cand_a, cand_b], ev, True)
+            scan = scan_cls(pool, ev, itype.capacity, itype.family)
+            state = ev.make_state([member])
+            scan.charge(member)  # foreign task: capacity only
+            task, value = scan.best(state)
+            picks.append((task.task_id, value))
+        assert picks[0] == picks[1]
+        # Exact tie on value (tput_a·rp_a == rp_b), broken on RP → A.
+        assert ratio * rp_a == rp_b
+        assert picks[0][0] == cand_a.task_id
+
+    def test_exact_path_tie_breaks_identically(self):
+        # A >2-set exact entry disables the pairwise fast path; the
+        # kernel's exact-path gather must still tie-break identically.
+        table = CoLocationThroughputTable(default_tput=1.0)
+        table.sync({("w0", ("w1", "w2")): 0.6})
+        demand = ResourceVector(0, 2, 4)
+        tasks = [
+            _single(f"w{i}", demand, job_id=f"job{i}") for i in range(6)
+        ]
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(CATALOG, key=lambda it: it.capacity.cpus)
+        scalar, vector = _both_kernels(
+            tasks, lambda: TNRPEvaluator(calc, table, jobs={}), itype
+        )
+        assert scalar == vector
+
+
+_DEMANDS = st.sampled_from(
+    [
+        ResourceVector(0, 2, 4),
+        ResourceVector(0, 4, 8),
+        ResourceVector(0, 8, 32),
+        ResourceVector(1, 4, 16),
+        ResourceVector(1, 8, 61),
+        ResourceVector(4, 16, 122),
+    ]
+)
+
+
+def _job_strategy(idx):
+    return st.tuples(
+        st.sampled_from(["wa", "wb", "wc", "wd"]),
+        _DEMANDS,
+        st.integers(min_value=1, max_value=3),  # arity (§4.4)
+    )
+
+
+class TestRandomizedEquivalence:
+    """Property layer: on arbitrary pools the two scans must make the
+    same decisions, and the kernel knob must not change packings."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(_job_strategy(0), min_size=1, max_size=10),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["wa", "wb", "wc", "wd"]),
+                st.sampled_from(["wa", "wb", "wc", "wd"]),
+                st.sampled_from([0.25, 0.5, 0.75, 0.9]),
+            ),
+            max_size=6,
+        ),
+        st.booleans(),
+    )
+    def test_scan_equivalence_tnrp(self, jobs, pairs, large_exact):
+        table = CoLocationThroughputTable()
+        for a, b, tput in pairs:
+            if a != b:
+                table.observe_single_task_job(
+                    TaskPlacementObservation(a, (b,)), tput
+                )
+        if large_exact:
+            # Forces the non-decomposable exact path (§4.3).
+            table.sync({("wa", ("wb", "wc")): 0.5})
+        tasks, mapping = [], {}
+        for i, (workload, demand, arity) in enumerate(jobs):
+            job = make_job(
+                workload,
+                {"*": demand},
+                duration_hours=1.0,
+                num_tasks=arity,
+                job_id=f"j{i}",
+            )
+            mapping[job.job_id] = job
+            tasks.extend(job.tasks)
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(CATALOG, key=lambda it: it.capacity.gpus)
+        scalar, vector = _both_kernels(
+            tasks,
+            lambda: TNRPEvaluator(calc, table, jobs=mapping),
+            itype,
+        )
+        assert scalar == vector
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pack_one_instance_identical_across_kernels(self, seed):
+        tasks = microbench_task_pool(12, seed=seed)
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(CATALOG, key=lambda it: it.capacity.gpus)
+        outcomes = []
+        for env in ({"kernel": "scalar"}, {"kernel": "numpy"}):
+            with kernel_env(**env):
+                ev = RPEvaluator(calc)
+                pool = _TaskPool(tasks, ev, True)
+                chosen, value = _pack_one_instance(itype, pool, ev)
+                outcomes.append(([t.task_id for t in chosen], value))
+        assert outcomes[0] == outcomes[1]
+
+    def test_full_reconfiguration_identical_across_kernels(self):
+        tasks = microbench_task_pool(40, seed=7)
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(
+            TaskPlacementObservation("ResNet-50", ("A3C",)), 0.8
+        )
+        configs = []
+        for kernel in ("scalar", "numpy"):
+            with kernel_env(kernel=kernel):
+                calc = ReservationPriceCalculator(CATALOG)
+                packed = full_reconfiguration(
+                    tasks, CATALOG, TNRPEvaluator(calc, table, jobs={})
+                )
+                configs.append(
+                    [
+                        (p.instance_type.name, tuple(t.task_id for t in p.tasks))
+                        for p in packed
+                    ]
+                )
+        assert configs[0] == configs[1]
+        assert configuration_cost(packed) > 0.0
+
+    def test_deadline_urgency_lanes_identical(self):
+        # u≠1 lanes take the escalated branch; u==1 must be bit-equal to
+        # the stock formula.
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(
+            TaskPlacementObservation("wa", ("wb",)), 0.5
+        )
+        jobs, tasks = {}, []
+        for i, (workload, arity) in enumerate(
+            [("wa", 2), ("wb", 1), ("wc", 2), ("wd", 1)]
+        ):
+            job = make_job(
+                workload,
+                {"*": ResourceVector(0, 4, 8)},
+                duration_hours=1.0,
+                num_tasks=arity,
+                job_id=f"j{i}",
+            )
+            jobs[job.job_id] = job
+            tasks.extend(job.tasks)
+        urgency = {"j0": 2.5, "j1": 1.0, "j3": 4.0}
+        calc = ReservationPriceCalculator(CATALOG)
+        itype = max(CATALOG, key=lambda it: it.capacity.cpus)
+        scalar, vector = _both_kernels(
+            tasks,
+            lambda: DeadlineTNRPEvaluator(
+                calc, table, jobs=jobs, urgency=urgency
+            ),
+            itype,
+        )
+        assert scalar == vector

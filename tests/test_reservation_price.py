@@ -108,3 +108,66 @@ class TestProperties:
             "w", {"*": ResourceVector(0, small_cpu + extra, 4)}, 1.0
         ).tasks[0]
         assert calc.rp(hi) >= calc.rp(lo)
+
+
+class TestCatalogTokenKeying:
+    """Satellite-1 regression: RP-derived caches shared across schedulers
+    must key on the catalog *content* snapshot, or two schedulers priced
+    against different catalogs would serve each other's prices."""
+
+    @staticmethod
+    def _repriced(catalog, factor=2.0):
+        from dataclasses import replace
+
+        return [replace(it, hourly_cost=it.hourly_cost * factor) for it in catalog]
+
+    def test_token_is_content_derived(self, example_catalog):
+        a = ReservationPriceCalculator(example_catalog)
+        b = ReservationPriceCalculator(list(example_catalog))
+        assert a.catalog_token == b.catalog_token
+        c = ReservationPriceCalculator(self._repriced(example_catalog))
+        assert c.catalog_token != a.catalog_token
+
+    def test_evaluator_cache_tokens_distinguish_catalogs(self, example_catalog):
+        from repro.core.evaluation import RPEvaluator, TNRPEvaluator
+        from repro.core.throughput_table import CoLocationThroughputTable
+
+        a = ReservationPriceCalculator(example_catalog)
+        c = ReservationPriceCalculator(self._repriced(example_catalog))
+        assert RPEvaluator(a).cache_token() != RPEvaluator(c).cache_token()
+        table = CoLocationThroughputTable()
+        assert (
+            TNRPEvaluator(a, table).cache_token()
+            != TNRPEvaluator(c, table).cache_token()
+        )
+
+    def test_shared_caches_rebind_drops_stale_prices(self, example_catalog):
+        """The cross-round TNRP memo survives rounds but not a catalog
+        change: the same task must get each catalog's own price."""
+        from repro.core.evaluation import TNRPCaches, TNRPEvaluator
+        from repro.core.throughput_table import CoLocationThroughputTable
+
+        job = make_job(
+            "w", {"*": ResourceVector(0, 4, 8)}, 1.0, num_tasks=2, job_id="j"
+        )
+        jobs = {"j": job}
+        task = job.tasks[0]
+        table = CoLocationThroughputTable()
+        caches = TNRPCaches()
+
+        calc_a = ReservationPriceCalculator(example_catalog)
+        ev_a = TNRPEvaluator(calc_a, table, jobs=jobs, caches=caches)
+        value_a = ev_a.tnrp_from_tput(task, 0.5)
+        assert caches.tnrp and caches.job_rp  # memos populated
+
+        calc_b = ReservationPriceCalculator(self._repriced(example_catalog))
+        ev_b = TNRPEvaluator(calc_b, table, jobs=jobs, caches=caches)
+        # Construction rebinds the shared caches to the new catalog token
+        # and drops every RP-derived entry.
+        assert not caches.tnrp and not caches.job_rp
+        value_b = ev_b.tnrp_from_tput(task, 0.5)
+        assert value_b == pytest.approx(2.0 * value_a)
+        # Rebinding back also invalidates (no cross-catalog survivors).
+        ev_a2 = TNRPEvaluator(calc_a, table, jobs=jobs, caches=caches)
+        assert not caches.tnrp
+        assert ev_a2.tnrp_from_tput(task, 0.5) == value_a

@@ -423,16 +423,29 @@ def _fuzz_scenario(seed: int) -> Scenario:
     deadline_fraction = float(rng.choice([0.0, 0.3, 0.7, 1.0]))
     slack_lo = float(rng.uniform(1.02, 1.8))
     slack_hi = slack_lo + float(rng.uniform(0.0, 1.5))
-    trace = TraceSpec.make(
-        "synthetic",
-        num_jobs=num_jobs,
-        seed=seed,
-        duration_range_hours=(float(rng.uniform(0.2, 0.5)),
-                              float(rng.uniform(0.6, 2.5))),
-        mean_interarrival_s=float(rng.choice([300.0, 600.0, 1200.0])),
-        deadline_fraction=deadline_fraction,
-        deadline_slack_range=(slack_lo, slack_hi),
-    )
+    builder_roll = rng.random()
+    if builder_roll < 0.3:
+        # Replay-trace axis: the densified Alibaba/Gavel builders (the
+        # vectorized packing kernel's target regime), shrunk to fuzz
+        # size.  Durations are clipped tight so the scenario stays fast.
+        trace = TraceSpec.make(
+            "alibaba-replay" if builder_roll < 0.15 else "gavel-replay",
+            num_jobs=num_jobs,
+            seed=seed,
+            arrival_rate_per_hour=float(rng.choice([20.0, 40.0])),
+            clip_hours=float(rng.choice([2.0, 6.0])),
+        )
+    else:
+        trace = TraceSpec.make(
+            "synthetic",
+            num_jobs=num_jobs,
+            seed=seed,
+            duration_range_hours=(float(rng.uniform(0.2, 0.5)),
+                                  float(rng.uniform(0.6, 2.5))),
+            mean_interarrival_s=float(rng.choice([300.0, 600.0, 1200.0])),
+            deadline_fraction=deadline_fraction,
+            deadline_slack_range=(slack_lo, slack_hi),
+        )
     spot = None
     if rng.random() < 0.4:
         spot = SpotConfig(
@@ -530,6 +543,8 @@ class TestFuzzedScenarioInvariants:
         assert len(schedulers) >= 4
         assert any(s.spot is not None and s.spot.notice_s > 0 for s in scenarios)
         assert any(s.spot is None for s in scenarios)
+        builders = {s.trace.builder for s in scenarios}
+        assert {"synthetic", "alibaba-replay", "gavel-replay"} <= builders
         deadline_jobs = 0
         for scenario in scenarios:
             trace = scenario.trace.build(default_seed=scenario.seed)
@@ -537,6 +552,54 @@ class TestFuzzedScenarioInvariants:
                 1 for j in trace if j.deadline_hours is not None
             )
         assert deadline_jobs > 10
+
+
+class TestPackKernelByteIdentity:
+    """End-to-end kernel equivalence: an entire simulation run under the
+    vectorized packing kernel (forced onto every pool width) must produce
+    byte-identical results to the scalar scan — the kernel is mechanism
+    only, never policy."""
+
+    @pytest.mark.parametrize("seed", [0, 2, 5, 9, 13, 17])
+    def test_fuzzed_scenarios_identical_across_kernels(self, seed, monkeypatch):
+        scenario = _fuzz_scenario(seed)
+        trace = scenario.trace.build(default_seed=scenario.seed)
+        catalog = ec2_catalog()
+        results = []
+        for kernel, min_lanes in (("scalar", "0"), ("numpy", "0")):
+            monkeypatch.setenv("EVA_PACK_KERNEL", kernel)
+            monkeypatch.setenv("EVA_PACK_NUMPY_MIN_LANES", min_lanes)
+            sim = ClusterSimulator(
+                trace=trace,
+                scheduler=make_scheduler(scenario.scheduler, catalog),
+                period_s=scenario.period_s,
+                spot=scenario.spot,
+                deadline_warning_s=scenario.deadline_warning_s,
+            )
+            results.append(sim.run())
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    def test_replay_trace_identical_across_kernels(self, monkeypatch):
+        """The kernel's target regime: a (shrunk) replay trace with wide
+        pools, run with the production lane threshold vs forced scalar."""
+        spec = TraceSpec.make(
+            "alibaba-replay",
+            num_jobs=40,
+            seed=1,
+            arrival_rate_per_hour=40.0,
+            clip_hours=4.0,
+        )
+        trace = spec.build(default_seed=1)
+        catalog = ec2_catalog()
+        results = []
+        for kernel, min_lanes in (("scalar", "0"), ("numpy", "1")):
+            monkeypatch.setenv("EVA_PACK_KERNEL", kernel)
+            monkeypatch.setenv("EVA_PACK_NUMPY_MIN_LANES", min_lanes)
+            sim = ClusterSimulator(
+                trace=trace, scheduler=make_scheduler("eva", catalog)
+            )
+            results.append(sim.run())
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
 
 
 class TestAllocationIntegrator:

@@ -144,3 +144,85 @@ class TestLowerBoundProperty:
         table.observe_multi_task_job(placement, 0.9)
         raised = table.recorded_tput(placement[0]) or table.recorded_tput(placement[1])
         assert raised >= first
+
+
+class TestVersionEpochAudit:
+    """Every value-changing mutation must bump :attr:`version` — it is the
+    cache epoch for ``TNRPCaches``/``PackMemo`` consumers — and no-op
+    updates must not churn it."""
+
+    def test_single_task_observation_bumps_once(self):
+        table = CoLocationThroughputTable()
+        v0 = table.version
+        table.observe_single_task_job(obs("a", "b"), 0.8)
+        assert table.version == v0 + 1
+        # Re-recording the same value is a no-op for downstream caches.
+        table.observe_single_task_job(obs("a", "b"), 0.8)
+        assert table.version == v0 + 1
+        table.observe_single_task_job(obs("a", "b"), 0.7)
+        assert table.version == v0 + 2
+
+    def test_standalone_observation_never_bumps(self):
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(obs("a"), 0.5)
+        assert table.version == 0
+
+    def test_every_attribution_rule_bumps(self):
+        table = CoLocationThroughputTable()
+        # Rule 1: nothing recorded yet.
+        target = table.observe_multi_task_job([obs("a", "b"), obs("b", "a")], 0.6)
+        assert target is not None and table.version == 1
+        # Rule 2: recorded entry below the observation gets raised.
+        target = table.observe_multi_task_job([obs("a", "b"), obs("b", "a")], 0.9)
+        assert target is not None and table.version == 2
+        # Rule 3: all recorded entries exceed the observation, blame the
+        # unrecorded newcomer.
+        target = table.observe_multi_task_job(
+            [obs("a", "b"), obs("c", "a", "b")], 0.4
+        )
+        assert target is not None and obs("c", "a", "b") == target
+        assert table.version == 3
+
+    def test_consistent_multi_task_observation_no_bump(self):
+        table = CoLocationThroughputTable()
+        table.observe_single_task_job(obs("a", "b"), 0.6)
+        v = table.version
+        # Observation equals the recorded minimum: table already agrees.
+        assert table.observe_multi_task_job([obs("a", "b")], 0.6) is None
+        assert table.version == v
+
+    def test_sync_bumps_per_changed_entry_and_is_idempotent(self):
+        src = CoLocationThroughputTable()
+        src.observe_single_task_job(obs("a", "b"), 0.7)
+        src.observe_single_task_job(obs("b", "a"), 0.8)
+        dst = CoLocationThroughputTable()
+        assert dst.sync(src) == 2
+        assert dst.version == 2
+        # Second merge changes nothing: no epoch churn, count reports it.
+        assert dst.sync(src) == 0
+        assert dst.version == 2
+
+    def test_sync_invalidates_lookup_memo(self):
+        """Satellite-2 staleness regression: a lookup served through the
+        memo *before* a bulk merge must not survive it."""
+        table = CoLocationThroughputTable()
+        stale = table.tput("a", ("b",))
+        assert stale == table.default_tput
+        changed = table.sync({("a", ("b",)): 0.5})
+        assert changed == 1
+        assert table.tput("a", ("b",)) == 0.5
+        # The pairwise mirror was routed through _record too.
+        assert table.pairwise("a", "b") == 0.5
+
+    def test_sync_keeps_shared_tnrp_caches_fresh(self):
+        """The evaluator's cross-round set-value memo epochs on
+        ``table.version``; a sync() that merged new values must drop it."""
+        from repro.core.evaluation import TNRPCaches
+
+        table = CoLocationThroughputTable()
+        caches = TNRPCaches()
+        caches.sync(table)
+        caches.set_value[("t1",)] = 123.0
+        table.sync({("a", ("b",)): 0.5})
+        caches.sync(table)
+        assert not caches.set_value
