@@ -42,6 +42,11 @@ from repro.core.deadline import (
     DeadlineConfig,
     DeadlineTNRPEvaluator,
 )
+from repro.core.failure import (
+    FailureAwareConfig,
+    FailureAwareEvaScheduler,
+    HazardTNRPEvaluator,
+)
 from repro.core.ilp import ILPResult, ilp_schedule
 from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.monitor import ThroughputMonitor
@@ -55,6 +60,7 @@ from repro.core.protocol import (
     ClusterEnvironment,
     DeadlineApproaching,
     Decision,
+    InstanceFailed,
     JobArrived,
     JobFinished,
     LaunchInstance,
@@ -62,6 +68,7 @@ from repro.core.protocol import (
     Observation,
     ProtocolError,
     SpotEvictionNotice,
+    StragglerReport,
     TerminateInstance,
     ThroughputReport,
     UnassignTask,
@@ -185,8 +192,13 @@ def _make_deadline_aware(catalog, interference=None, delay_model=None) -> Schedu
     return DeadlineAwareEvaScheduler(catalog, delay_model=delay_model)
 
 
+def _make_failure_aware(catalog, interference=None, delay_model=None) -> Scheduler:
+    return FailureAwareEvaScheduler(catalog, delay_model=delay_model)
+
+
 register_scheduler("eva-eviction-aware", _make_eviction_aware)
 register_scheduler("eva-deadline", _make_deadline_aware)
+register_scheduler("eva-failure", _make_failure_aware)
 register_scheduler("no-packing", _make_no_packing)
 register_scheduler("stratus", _make_stratus)
 register_scheduler("synergy", _make_synergy)
@@ -240,12 +252,16 @@ __all__ = [
     "DeadlineAwareEvaScheduler",
     "DeadlineConfig",
     "DeadlineTNRPEvaluator",
+    "FailureAwareConfig",
+    "FailureAwareEvaScheduler",
+    "HazardTNRPEvaluator",
     "make_eva_variant",
     "Action",
     "AssignTask",
     "ClusterEnvironment",
     "DeadlineApproaching",
     "Decision",
+    "InstanceFailed",
     "JobArrived",
     "JobFinished",
     "LaunchInstance",
@@ -253,6 +269,7 @@ __all__ = [
     "Observation",
     "ProtocolError",
     "SpotEvictionNotice",
+    "StragglerReport",
     "TerminateInstance",
     "ThroughputReport",
     "UnassignTask",

@@ -56,7 +56,7 @@ and is behaviourally — and byte-for-byte — identical to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import ClassVar, Mapping, Sequence
 
 from repro.cloud.delays import DelayModel
 from repro.cluster.instance import InstanceType
@@ -130,6 +130,12 @@ class DeadlineTNRPEvaluator(TNRPEvaluator):
 
     urgency: Mapping[str, float] = field(default_factory=dict)
 
+    #: Namespace of this evaluator's :meth:`cache_token`.  Subclasses
+    #: reusing the urgency machinery for a different policy (e.g. the
+    #: failure-hazard evaluator) override it so whole-packing memo
+    #: entries can never be shared across policies.
+    cache_tag: ClassVar[str] = "deadline"
+
     def tnrp_from_tput(self, task: Task, tput: float) -> float:
         u = self.urgency.get(task.job_id, 1.0)
         if u == 1.0:
@@ -158,7 +164,7 @@ class DeadlineTNRPEvaluator(TNRPEvaluator):
         base = super().cache_token()
         if base is None:
             return None
-        return (*base, "deadline", tuple(sorted(self.urgency.items())))
+        return (*base, self.cache_tag, tuple(sorted(self.urgency.items())))
 
 
 class DeadlineAwareEvaScheduler(EvaScheduler):

@@ -11,6 +11,7 @@ backend to re-derive operations from a whole-state rewrite:
 * **Observations** are the typed events a scheduler may react to at a
   round: :class:`JobArrived`, :class:`JobFinished`,
   :class:`SpotEvictionNotice`, :class:`DeadlineApproaching`,
+  :class:`InstanceFailed`, :class:`StragglerReport`,
   :class:`ThroughputReport`.
 * :class:`ClusterEnvironment` is the driver interface: a backend (the
   discrete-event simulator, the live runtime master) implements the five
@@ -61,6 +62,7 @@ __all__ = [
     "ClusterEnvironment",
     "Decision",
     "DeadlineApproaching",
+    "InstanceFailed",
     "JobArrived",
     "JobFinished",
     "LaunchInstance",
@@ -68,6 +70,7 @@ __all__ = [
     "Observation",
     "ProtocolError",
     "SpotEvictionNotice",
+    "StragglerReport",
     "TerminateInstance",
     "ThroughputReport",
     "count_job_events",
@@ -233,6 +236,36 @@ class DeadlineApproaching:
 
 
 @dataclass(frozen=True, slots=True)
+class InstanceFailed:
+    """``instance_id`` crashed abruptly at ``time_s`` (no graceful notice).
+
+    ``failure_domain`` identifies the instance's failure domain (rack /
+    AZ analogue) so hazard-estimating policies can attribute correlated
+    shocks.  The instance is already gone when the observation is
+    delivered; its tasks rolled back to their last completed checkpoint
+    and returned to the queue.
+    """
+
+    instance_id: str
+    time_s: float
+    failure_domain: int
+
+
+@dataclass(frozen=True, slots=True)
+class StragglerReport:
+    """``instance_id`` runs at ``slowdown`` × its nominal speed.
+
+    Emitted when a straggler fault begins (``slowdown < 1``) and again
+    when it clears (``slowdown == 1.0``).  A report may outlive its
+    instance, so consumers must prune against the snapshot.
+    """
+
+    instance_id: str
+    time_s: float
+    slowdown: float
+
+
+@dataclass(frozen=True, slots=True)
 class ThroughputReport:
     """One job's per-round throughput report (§5), as an observation."""
 
@@ -240,7 +273,13 @@ class ThroughputReport:
 
 
 Observation = Union[
-    JobArrived, JobFinished, SpotEvictionNotice, DeadlineApproaching, ThroughputReport
+    JobArrived,
+    JobFinished,
+    SpotEvictionNotice,
+    DeadlineApproaching,
+    InstanceFailed,
+    StragglerReport,
+    ThroughputReport,
 ]
 
 

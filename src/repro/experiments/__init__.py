@@ -27,6 +27,7 @@ from repro.experiments import (
     fig06_workload_mix,
     fig07_multitask_sweep,
     fig08_arrival_rate,
+    reliability,
     spot_eviction,
     table01_delays,
     table04_microbench,
@@ -55,6 +56,7 @@ __all__ = [
     "fig06_workload_mix",
     "fig07_multitask_sweep",
     "fig08_arrival_rate",
+    "reliability",
     "spot_eviction",
     "table01_delays",
     "table04_microbench",

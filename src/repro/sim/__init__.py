@@ -15,13 +15,17 @@ from repro.sim.batch import (
 from repro.sim.engine import Event, EventKind, EventQueue
 from repro.sim.metrics import (
     AllocationIntegrator,
+    FailureOutcome,
     JobOutcome,
+    RepairOutcome,
     SimulationResult,
     normalize_costs,
 )
 from repro.sim.simulator import (
     DEFAULT_PERIOD_S,
     ClusterSimulator,
+    FailureConfig,
+    RetryPolicy,
     SimulationError,
     SpotConfig,
     run_simulation,
@@ -42,11 +46,15 @@ __all__ = [
     "EventKind",
     "EventQueue",
     "AllocationIntegrator",
+    "FailureOutcome",
     "JobOutcome",
+    "RepairOutcome",
     "SimulationResult",
     "normalize_costs",
     "DEFAULT_PERIOD_S",
     "ClusterSimulator",
+    "FailureConfig",
+    "RetryPolicy",
     "SimulationError",
     "SpotConfig",
     "run_simulation",

@@ -35,7 +35,9 @@ import copy
 import os
 import statistics
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence, TypeVar
 
@@ -46,7 +48,12 @@ from repro.cloud.delays import DelayModel
 from repro.cluster.instance import InstanceType
 from repro.interference.model import InterferenceModel
 from repro.sim.metrics import SimulationResult
-from repro.sim.simulator import DEFAULT_PERIOD_S, SpotConfig, run_simulation
+from repro.sim.simulator import (
+    DEFAULT_PERIOD_S,
+    FailureConfig,
+    SpotConfig,
+    run_simulation,
+)
 from repro.workloads.trace import Trace
 
 _T = TypeVar("_T")
@@ -95,14 +102,40 @@ def parallel_map(
     data).  Results are returned in input order regardless of completion
     order.  ``workers=None`` reads ``EVA_BENCH_WORKERS``; ``workers=1``
     (the default environment) runs a plain serial loop in-process.
+
+    **Worker-crash resilience**: if a worker process dies (OOM kill,
+    segfault, ``os._exit``), the executor marks the whole pool broken
+    and every unfinished future raises
+    :class:`~concurrent.futures.process.BrokenProcessPool`.  Instead of
+    losing the sweep, the affected items are retried serially in this
+    process with a warning — completed results are kept, and ``fn``'s
+    own exceptions still propagate unchanged (only pool breakage is
+    retried).
     """
     items = list(items)
     workers = _resolve_workers(workers, len(items))
     if workers == 1:
         return [fn(item) for item in items]
+    results: list[_R | None] = []
+    broken: list[int] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                results.append(None)
+                broken.append(index)
+    if broken:
+        warnings.warn(
+            f"worker process died mid-batch; retrying {len(broken)} "
+            f"item(s) serially in the parent process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for index in broken:
+            results[index] = fn(items[index])
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +286,11 @@ class Scenario:
             :class:`~repro.sim.simulator.ClusterSimulator`).  Result-
             affecting for deadline-aware schedulers, hence part of the
             fingerprint like every other field here.
+        failures: Optional fault-injection configuration
+            (:class:`~repro.sim.simulator.FailureConfig`).  ``None``
+            keeps the fault-free engine path byte-identical; any value
+            flows into the fingerprint (it is a frozen dataclass of
+            plain scalars, so canonical-JSON coverage is automatic).
     """
 
     scheduler: str
@@ -266,6 +304,7 @@ class Scenario:
     validate: bool = False
     seed: int = 0
     deadline_warning_s: float | None = None
+    failures: FailureConfig | None = None
 
     def __post_init__(self) -> None:
         if self.catalog is not None and not isinstance(self.catalog, tuple):
@@ -339,6 +378,7 @@ def _execute_scenario(scenario: Scenario) -> ScenarioOutcome:
         validate=scenario.validate,
         spot=scenario.spot,
         deadline_warning_s=scenario.deadline_warning_s,
+        failures=scenario.failures,
     )
     return ScenarioOutcome(
         scenario=original, result=result, elapsed_s=time.perf_counter() - start
@@ -438,8 +478,9 @@ def reseed(scenario: Scenario, seed: int) -> Scenario:
 
     Overrides every seed the scenario carries: ``Scenario.seed``, an
     explicit ``seed`` kwarg inside a :class:`TraceSpec` (so specs that
-    pinned their seed still vary across trials), and the spot market's
-    ``SpotConfig.seed``.  Inline :class:`Trace` objects are already
+    pinned their seed still vary across trials), the spot market's
+    ``SpotConfig.seed``, and the fault injector's
+    ``FailureConfig.seed``.  Inline :class:`Trace` objects are already
     built and cannot be re-seeded — express multi-seed sweeps as
     :class:`TraceSpec` scenarios so each trial regenerates its trace.
     """
@@ -454,7 +495,12 @@ def reseed(scenario: Scenario, seed: int) -> Scenario:
     spot = scenario.spot
     if spot is not None:
         spot = replace(spot, seed=seed)
-    return replace(scenario, seed=seed, trace=trace, spot=spot)
+    failures = scenario.failures
+    if failures is not None:
+        failures = replace(failures, seed=seed)
+    return replace(
+        scenario, seed=seed, trace=trace, spot=spot, failures=failures
+    )
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,21 @@ class EventKind(IntEnum):
     #: time)); sorts before the round so a same-timestamp round already
     #: observes the notice.
     EVICTION_NOTICE = 5
-    SCHEDULING_ROUND = 6
+    #: Abrupt instance crash (payload: ``("instance", instance_id)`` for
+    #: independent crashes, ``("domain", domain_id)`` for correlated
+    #: failure-domain shocks).  Unlike spot preemption there is no
+    #: graceful checkpoint: progress rolls back to the last completed
+    #: checkpoint.  Sorts before the round (EVICTION_NOTICE precedent)
+    #: so a same-timestamp round already observes the failure; sorts
+    #: after JOB_FINISH so completions beat same-timestamp crashes.
+    INSTANCE_FAILURE = 6
+    #: A straggler fault begins: the instance's effective throughput is
+    #: multiplied by a slowdown factor (payload: (instance_id, factor)).
+    SLOWDOWN_START = 7
+    #: The straggler fault ends and the instance recovers full speed
+    #: (payload: instance_id).
+    SLOWDOWN_END = 8
+    SCHEDULING_ROUND = 9
 
 
 @dataclass(frozen=True, slots=True)

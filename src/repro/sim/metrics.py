@@ -22,6 +22,57 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass(frozen=True, slots=True)
+class FailureOutcome:
+    """One injected instance failure (crash or domain shock).
+
+    Recorded in dispatch order.  ``job_losses`` keeps the *per-job*
+    rolled-back work (sorted by job id within the event) rather than a
+    pre-summed total, so
+    :func:`~repro.sim.accounting.naive_failure_totals` can replay the
+    exact addition sequence of the O(1) accounting path and compare the
+    work-lost total bit for bit.
+
+    ``instance_index`` is the victim's **per-run launch ordinal** (0 for
+    the run's first launch), *not* its ``i-...`` id: instance ids come
+    from a process-global counter (see
+    :mod:`repro.cluster.instance`), so embedding one in the result
+    would break the byte-identity contract between runs in the same
+    process and between serial and parallel batch execution.
+    """
+
+    instance_index: int
+    time_s: float
+    failure_domain: int
+    #: ``"crash"`` (independent draw) or ``"domain-shock"`` (correlated).
+    kind: str
+    #: Tasks knocked back to the queue (each counts one restart).
+    tasks_lost: int
+    #: ``(job_id, rolled-back standalone-hours)`` per affected job with
+    #: un-checkpointed progress, in sorted-job-id order.
+    job_losses: tuple[tuple[str, float], ...]
+
+    @property
+    def work_lost_h(self) -> float:
+        return sum(lost for _, lost in self.job_losses)
+
+
+@dataclass(frozen=True, slots=True)
+class RepairOutcome:
+    """One job outage span: instance failure until its rate recovered.
+
+    Recorded in recovery order; per-job MTTR aggregates over these.
+    """
+
+    job_id: str
+    failed_s: float
+    recovered_s: float
+
+    @property
+    def repair_s(self) -> float:
+        return self.recovered_s - self.failed_s
+
+
+@dataclass(frozen=True, slots=True)
 class DeadlineOutcome:
     """One deadline-bearing job's SLO record.
 
@@ -166,9 +217,20 @@ class SimulationResult:
     deadline_outcomes: tuple[DeadlineOutcome, ...] = ()
     deadline_miss_count: int = 0
     deadline_total_lateness_s: float = 0.0
+    #: Reliability records (failure injection, ROADMAP open item 5):
+    #: per-event failure records in dispatch order, per-job outage spans
+    #: in recovery order, and the O(1)-accumulated totals
+    #: (:func:`~repro.sim.accounting.naive_failure_totals` re-derives
+    #: them bit for bit).  All defaults with :class:`FailureConfig`
+    #: disabled, and then omitted from the pickled state like the
+    #: deadline fields — the golden digest matrices pin this.
+    failure_outcomes: tuple[FailureOutcome, ...] = ()
+    repair_outcomes: tuple[RepairOutcome, ...] = ()
+    task_restarts: int = 0
+    work_lost_h: float = 0.0
 
     # ------------------------------------------------------------------
-    # Byte-identity of legacy results across the field addition
+    # Byte-identity of legacy results across the field additions
     # ------------------------------------------------------------------
     #: Fields introduced by the deadline-SLO subsystem, with their
     #: legacy-default values.  Any of them at its default is dropped from
@@ -179,16 +241,27 @@ class SimulationResult:
         "deadline_miss_count": 0,
         "deadline_total_lateness_s": 0.0,
     }
+    #: Same contract for the failure-injection fields.
+    _FAILURE_FIELD_DEFAULTS = {
+        "failure_outcomes": (),
+        "repair_outcomes": (),
+        "task_restarts": 0,
+        "work_lost_h": 0.0,
+    }
+    _OMITTED_FIELD_DEFAULTS = {
+        **_DEADLINE_FIELD_DEFAULTS,
+        **_FAILURE_FIELD_DEFAULTS,
+    }
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        for name, default in self._DEADLINE_FIELD_DEFAULTS.items():
+        for name, default in self._OMITTED_FIELD_DEFAULTS.items():
             if name in state and state[name] == default:
                 del state[name]
         return state
 
     def __setstate__(self, state: dict) -> None:
-        for name, default in self._DEADLINE_FIELD_DEFAULTS.items():
+        for name, default in self._OMITTED_FIELD_DEFAULTS.items():
             state.setdefault(name, default)
         self.__dict__.update(state)
 
@@ -245,6 +318,42 @@ class SimulationResult:
         if self.deadline_miss_count == 0:
             return 0.0
         return self.deadline_total_lateness_s / self.deadline_miss_count
+
+    # ------------------------------------------------------------------
+    # Reliability statistics (failure injection)
+    # ------------------------------------------------------------------
+    @property
+    def instance_failures(self) -> int:
+        """Injected instance failures (crashes + domain-shock kills)."""
+        return len(self.failure_outcomes)
+
+    @property
+    def total_work_hours(self) -> float:
+        """Useful standalone work delivered (sum of job durations)."""
+        return sum(j.duration_hours for j in self.jobs)
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful work over gross work executed.
+
+        Gross work is useful work plus the progress rolled back by
+        failures (re-executed after restart), so this is 1.0 in a
+        fault-free run and degrades as crashes burn iterations.
+        """
+        useful = self.total_work_hours
+        gross = useful + self.work_lost_h
+        if gross <= 0:
+            return 1.0
+        return useful / gross
+
+    def mean_mttr_s(self) -> float:
+        """Mean time-to-recovery over job outages (0.0 without any)."""
+        if not self.repair_outcomes:
+            return 0.0
+        return mean(o.repair_s for o in self.repair_outcomes)
+
+    def restarts_per_job(self) -> float:
+        return self.task_restarts / self.num_jobs if self.num_jobs else 0.0
 
     def uptime_cdf(self, points: int = 50) -> tuple[np.ndarray, np.ndarray]:
         """(uptime_hours, cumulative_fraction) pairs for the Figure 3 CDF."""

@@ -16,6 +16,7 @@ paid-but-idle time (§2.3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Sequence
@@ -31,12 +32,14 @@ from repro.core.protocol import (
     AssignTask,
     ClusterEnvironment,
     DeadlineApproaching,
+    InstanceFailed,
     JobArrived,
     JobFinished,
     LaunchInstance,
     MigrateTask,
     Observation,
     SpotEvictionNotice,
+    StragglerReport,
     TerminateInstance,
     ThroughputReport,
     UnassignTask,
@@ -48,7 +51,9 @@ from repro.sim.engine import Event, EventKind, EventQueue
 from repro.sim.metrics import (
     AllocationIntegrator,
     DeadlineOutcome,
+    FailureOutcome,
     JobOutcome,
+    RepairOutcome,
     SimulationResult,
 )
 from repro.workloads.trace import Trace
@@ -87,10 +92,129 @@ class SpotConfig:
     notice_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.enabled and self.preemption_rate_per_hour <= 0:
-            raise ValueError("preemption rate must be positive when enabled")
+        if self.enabled:
+            if not math.isfinite(self.preemption_rate_per_hour):
+                raise ValueError(
+                    f"preemption rate must be finite, "
+                    f"got {self.preemption_rate_per_hour}"
+                )
+            if self.preemption_rate_per_hour <= 0:
+                raise ValueError("preemption rate must be positive when enabled")
+        if not math.isfinite(self.notice_s):
+            raise ValueError(f"notice_s must be finite, got {self.notice_s}")
         if self.notice_s < 0:
             raise ValueError("notice_s must be >= 0")
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed tasks are retried and how often progress is saved.
+
+    Attributes:
+        backoff_base_s: First-retry delay of a failed task; doubles with
+            every subsequent failure of the same task (capped).  ``0``
+            disables backoff (failed tasks requeue immediately).
+        backoff_cap_s: Upper bound on the per-task retry delay.
+        checkpoint_interval_s: Wall-clock cadence of job checkpoints; a
+            crash rolls a job back to its last completed checkpoint, so
+            shorter intervals lose less work.
+        checkpoint_overhead: Fraction of throughput spent writing
+            checkpoints (``[0, 1)``) — the cost side of the cadence
+            trade-off, charged against every running job's rate while
+            failure injection is enabled.
+    """
+
+    backoff_base_s: float = 60.0
+    backoff_cap_s: float = 3600.0
+    checkpoint_interval_s: float = 1800.0
+    checkpoint_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_finite("backoff_base_s", self.backoff_base_s)
+        _require_finite("backoff_cap_s", self.backoff_cap_s)
+        _require_finite("checkpoint_interval_s", self.checkpoint_interval_s)
+        _require_finite("checkpoint_overhead", self.checkpoint_overhead)
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be >= backoff_base_s")
+        if self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive")
+        if not 0.0 <= self.checkpoint_overhead < 1.0:
+            raise ValueError("checkpoint_overhead must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Stochastic fault-injection configuration (ROADMAP open item 5).
+
+    Three fault processes, all disabled by default (and byte-identical
+    to the fault-free simulator when disabled — the golden digest
+    matrices pin this):
+
+    * **Independent crashes**: every instance draws an exponential
+      time-to-crash at launch (rate ``crash_rate_per_hour``).  Unlike
+      spot preemption there is no graceful notice: affected jobs roll
+      back to their last completed checkpoint
+      (:class:`RetryPolicy.checkpoint_interval_s`), making
+      ``_TaskRT.resume_version`` work-loss accounting real.
+    * **Correlated domain shocks**: instances are assigned round-robin
+      to ``num_domains`` failure domains (rack/AZ analogue); a Poisson
+      process (rate ``domain_shock_rate_per_hour``) kills *every* alive
+      instance in a uniformly drawn domain at once.
+    * **Stragglers**: each instance draws an exponential onset (rate
+      ``straggler_rate_per_hour``) after which its effective throughput
+      is multiplied by a factor uniform in ``straggler_slowdown`` for
+      ``straggler_duration_s`` seconds, then recovers.
+
+    Faults surface on the typed observation channel
+    (:class:`~repro.core.protocol.InstanceFailed`,
+    :class:`~repro.core.protocol.StragglerReport`) so policies can react
+    without snapshot sniffing.  Two independent seeded streams drive the
+    draws: per-launch draws (crash, straggler) and the domain-shock
+    process, so shock timing does not depend on how many instances a
+    scheduler launched.
+    """
+
+    enabled: bool = False
+    crash_rate_per_hour: float = 0.0
+    num_domains: int = 4
+    domain_shock_rate_per_hour: float = 0.0
+    straggler_rate_per_hour: float = 0.0
+    straggler_slowdown: tuple[float, float] = (0.3, 0.7)
+    straggler_duration_s: float = 3600.0
+    seed: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_rate_per_hour",
+            "domain_shock_rate_per_hour",
+            "straggler_rate_per_hour",
+            "straggler_duration_s",
+        ):
+            value = getattr(self, name)
+            _require_finite(name, value)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.straggler_duration_s <= 0:
+            raise ValueError("straggler_duration_s must be positive")
+        if self.num_domains < 1:
+            raise ValueError("num_domains must be >= 1")
+        lo, hi = self.straggler_slowdown
+        _require_finite("straggler_slowdown[0]", lo)
+        _require_finite("straggler_slowdown[1]", hi)
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError(
+                "straggler_slowdown must satisfy 0 < lo <= hi <= 1, "
+                f"got {self.straggler_slowdown}"
+            )
+
 
 _WORK_EPS = 1e-9
 
@@ -107,6 +231,12 @@ class _TaskRT:
     status: TaskStatus = TaskStatus.QUEUED
     instance_id: str | None = None
     resume_version: int = 0
+    #: Instance crashes this task has survived (drives the capped
+    #: exponential retry backoff; scheduler unassigns don't count).
+    failures: int = 0
+    #: Earliest time the task may resume after a failure (capped
+    #: exponential backoff); 0.0 — never constraining — without faults.
+    retry_until_s: float = 0.0
 
 
 @dataclass
@@ -123,12 +253,38 @@ class _JobRT:
     #: Immutable task_id → Task map, built once at arrival and reused by
     #: every snapshot instead of re-walking ``job.tasks``.
     task_map: dict[str, Task] = field(default_factory=dict)
+    #: Checkpoint cadence in wall-clock seconds; None when failure
+    #: injection is off (the rollback machinery then costs nothing).
+    ckpt_interval_s: float | None = None
+    #: Work recorded at the last completed checkpoint — what an abrupt
+    #: crash rolls ``work_done_h`` back to.
+    ckpt_work_h: float = 0.0
+    #: Time of the last completed checkpoint (anchored at arrival).
+    last_ckpt_s: float = 0.0
+    #: Start of the current failure outage, or None when healthy; spans
+    #: from an instance crash until the job's rate recovers above zero
+    #: (per-job MTTR accumulates from these).
+    outage_start_s: float | None = None
 
     def advance(self, now_s: float) -> None:
         """Integrate progress (and idle time) up to ``now_s``."""
         dt_h = (now_s - self.last_update_s) / 3600.0
         if dt_h <= 0:
             return
+        interval = self.ckpt_interval_s
+        if interval is not None:
+            # Complete every checkpoint boundary crossed in this span.
+            # ``last_ckpt_s + interval > last_update_s`` holds because
+            # every advance consumes its boundaries, so the rate is
+            # constant from ``last_update_s`` to the latest boundary and
+            # the work there is exact.
+            periods = (now_s - self.last_ckpt_s) // interval
+            if periods >= 1.0:
+                boundary_s = self.last_ckpt_s + periods * interval
+                self.ckpt_work_h = self.work_done_h + self.rate * (
+                    (boundary_s - self.last_update_s) / 3600.0
+                )
+                self.last_ckpt_s = boundary_s
         if self.rate > 0:
             self.work_done_h += self.rate * dt_h
         else:
@@ -151,6 +307,16 @@ class _InstanceRT:
     running_cache: tuple[str, ...] | None = None
     #: Frozen copy of ``assigned`` for snapshots; None when stale.
     frozen_cache: frozenset[str] | None = None
+    #: Round-robin failure-domain id (rack/AZ analogue); only assigned
+    #: when fault injection is on.
+    failure_domain: int = 0
+    #: Straggler multiplier on effective throughput; 1.0 when healthy.
+    slowdown: float = 1.0
+    #: Per-run launch ordinal (0 = the run's first launch).  Result
+    #: records use this instead of ``instance_id``: ids come from a
+    #: process-global counter, so embedding one would break run-to-run
+    #: and serial-vs-parallel byte identity.
+    launch_index: int = 0
 
     @property
     def instance(self):
@@ -198,12 +364,50 @@ class _SimEnvironment(ClusterEnvironment):
             instance=instance,
             spot=sim.spot.enabled,
         )
-        sim._instances[instance.instance_id] = _InstanceRT(
+        rt = _InstanceRT(
             instance_state_instance=instance,
             ready_time_s=receipt.ready_time_s,
+            launch_index=sim._launch_seq,
         )
+        sim._launch_seq += 1
+        sim._instances[instance.instance_id] = rt
         sim._placement_epoch += 1
         sim._acct.instance_up(instance.instance_type)
+        if sim._fail_enabled:
+            fail = sim.failures
+            rt.failure_domain = sim._next_domain
+            sim._next_domain = (sim._next_domain + 1) % fail.num_domains
+            # Fixed per-launch draw order (crash lifetime, then straggler
+            # onset + factor) keeps the stream deterministic regardless
+            # of which events later turn out stale.
+            if fail.crash_rate_per_hour > 0:
+                life_s = float(
+                    sim._fail_rng.exponential(
+                        3600.0 / fail.crash_rate_per_hour
+                    )
+                )
+                sim.queue.push(
+                    Event(
+                        sim.now_s + life_s,
+                        EventKind.INSTANCE_FAILURE,
+                        ("instance", instance.instance_id),
+                    )
+                )
+            if fail.straggler_rate_per_hour > 0:
+                onset_s = float(
+                    sim._fail_rng.exponential(
+                        3600.0 / fail.straggler_rate_per_hour
+                    )
+                )
+                lo, hi = fail.straggler_slowdown
+                factor = float(sim._fail_rng.uniform(lo, hi))
+                sim.queue.push(
+                    Event(
+                        sim.now_s + onset_s,
+                        EventKind.SLOWDOWN_START,
+                        (instance.instance_id, factor),
+                    )
+                )
         if sim.spot.enabled:
             lifetime_s = float(
                 sim._spot_rng.exponential(
@@ -318,6 +522,11 @@ class _SimEnvironment(ClusterEnvironment):
         # starts.
         launch = sim.delay_model.launch_s(task.migration.launch_s)
         resume = max(dst_rt.ready_time_s, checkpoint_done) + launch
+        if task_rt.retry_until_s > resume:
+            # Capped exponential backoff of a repeatedly failing task:
+            # the placement happens, but the restart waits out the
+            # cooldown (0.0 without faults — never constraining).
+            resume = task_rt.retry_until_s
         sim.queue.push(
             Event(
                 resume,
@@ -352,6 +561,10 @@ class ClusterSimulator:
             — the round that could still react plus one period of slack;
             large values tell deadline-aware policies about SLOs
             essentially at arrival.
+        failures: Optional stochastic fault injection (crashes, domain
+            shocks, stragglers; see :class:`FailureConfig`).  ``None``
+            or a disabled config reproduces the fault-free simulator
+            byte-identically.
     """
 
     def __init__(
@@ -365,6 +578,7 @@ class ClusterSimulator:
         max_sim_hours: float = 24.0 * 365 * 10,
         spot: SpotConfig | None = None,
         deadline_warning_s: float | None = None,
+        failures: FailureConfig | None = None,
     ):
         if period_s <= 0:
             raise ValueError("period_s must be positive")
@@ -380,6 +594,26 @@ class ClusterSimulator:
         self.spot = spot or SpotConfig()
         self._spot_rng = np.random.default_rng(self.spot.seed)
         self._preemptions = 0
+        self.failures = failures or FailureConfig()
+        self._fail_enabled = self.failures.enabled
+        #: Two independent streams (see :class:`FailureConfig`): one for
+        #: per-launch draws (crash lifetime, straggler onset + factor),
+        #: one for the domain-shock Poisson process, so shock timing does
+        #: not depend on how many instances the scheduler launched.
+        self._fail_rng = np.random.default_rng([self.failures.seed, 1])
+        self._shock_rng = np.random.default_rng([self.failures.seed, 2])
+        self._next_domain = 0
+        self._launch_seq = 0
+        #: Throughput multiplier charging checkpoint overhead against
+        #: every running job; exactly 1.0 when faults are off, keeping
+        #: the fault-free rate arithmetic byte-identical.
+        self._ckpt_rate_mult = (
+            1.0 - self.failures.retry.checkpoint_overhead
+            if self._fail_enabled
+            else 1.0
+        )
+        self._failure_outcomes: list[FailureOutcome] = []
+        self._repair_outcomes: list[RepairOutcome] = []
 
         self.cloud = SimulatedCloud(delay_model=self.delay_model)
         self.queue = EventQueue()
@@ -452,6 +686,8 @@ class ClusterSimulator:
             Event(job.arrival_time_s, EventKind.JOB_ARRIVAL, job)
             for job in self.trace
         )
+        if self._fail_enabled and self.failures.domain_shock_rate_per_hour > 0:
+            self._schedule_next_shock()
         total_jobs = len(self.trace)
 
         while self.queue:
@@ -494,6 +730,13 @@ class ClusterSimulator:
             deadline_outcomes=tuple(self._deadline_outcomes),
             deadline_miss_count=self._acct.deadline_misses,
             deadline_total_lateness_s=self._acct.deadline_lateness_s,
+            # Reliability records and O(1)-accumulated totals; all at
+            # their defaults (and omitted from the pickle) without
+            # fault injection.
+            failure_outcomes=tuple(self._failure_outcomes),
+            repair_outcomes=tuple(self._repair_outcomes),
+            task_restarts=self._acct.task_restarts,
+            work_lost_h=self._acct.work_lost_h,
         )
 
     # ------------------------------------------------------------------
@@ -516,6 +759,14 @@ class ClusterSimulator:
         elif event.kind == EventKind.EVICTION_NOTICE:
             instance_id, eviction_time_s = event.payload
             self._on_eviction_notice(instance_id, eviction_time_s)
+        elif event.kind == EventKind.INSTANCE_FAILURE:
+            scope, target = event.payload
+            self._on_instance_failure(scope, target)
+        elif event.kind == EventKind.SLOWDOWN_START:
+            instance_id, factor = event.payload
+            self._on_slowdown_start(instance_id, factor)
+        elif event.kind == EventKind.SLOWDOWN_END:
+            self._on_slowdown_end(event.payload)
         elif event.kind == EventKind.SCHEDULING_ROUND:
             self._on_round()
         else:  # pragma: no cover - defensive
@@ -531,6 +782,11 @@ class ClusterSimulator:
             last_update_s=self.now_s,
             task_map={t.task_id: t for t in job.tasks},
         )
+        if self._fail_enabled:
+            # Checkpoint cadence anchors at arrival; a crash rolls the
+            # job back to the last completed boundary.
+            rt.ckpt_interval_s = self.failures.retry.checkpoint_interval_s
+            rt.last_ckpt_s = self.now_s
         self._jobs[job.job_id] = rt
         for task in job.tasks:
             self._tasks[task.task_id] = _TaskRT(task=task)
@@ -829,6 +1085,172 @@ class ClusterSimulator:
         self._refresh_rates(affected)
         self._ensure_round_scheduled()
 
+    # ------------------------------------------------------------------
+    # Fault injection (FailureConfig)
+    # ------------------------------------------------------------------
+    def _schedule_next_shock(self) -> None:
+        """Arm the next correlated domain shock (Poisson process).
+
+        Draws come from the dedicated shock stream in a fixed order
+        (inter-arrival gap, then target domain), so the shock schedule
+        is a pure function of the failure seed — independent of how many
+        instances any scheduler launched.
+        """
+        fail = self.failures
+        gap_s = float(
+            self._shock_rng.exponential(
+                3600.0 / fail.domain_shock_rate_per_hour
+            )
+        )
+        domain = int(self._shock_rng.integers(fail.num_domains))
+        self.queue.push(
+            Event(
+                self.now_s + gap_s,
+                EventKind.INSTANCE_FAILURE,
+                ("domain", domain),
+            )
+        )
+
+    def _on_instance_failure(self, scope: str, target) -> None:
+        """An injected failure fires: one instance or a whole domain.
+
+        Unlike spot preemption there is no graceful checkpoint — every
+        affected job rolls back to its last completed checkpoint and the
+        failure surfaces as an :class:`~repro.core.protocol.InstanceFailed`
+        observation at the next round (which this arms).
+        """
+        if scope == "domain":
+            victims = sorted(
+                iid
+                for iid, rt in self._instances.items()
+                if rt.alive and rt.failure_domain == target
+            )
+            for iid in victims:
+                self._fail_instance(iid, kind="domain-shock")
+            # The process is self-scheduling: each shock arms the next,
+            # keeping the queue bounded without knowing the makespan.
+            self._schedule_next_shock()
+            if victims:
+                self._ensure_round_scheduled()
+            return
+        rt = self._instances.get(target)
+        if rt is None or not rt.alive:
+            return  # stale crash draw: instance already gone
+        self._fail_instance(target, kind="crash")
+        self._ensure_round_scheduled()
+
+    def _fail_instance(self, instance_id: str, kind: str) -> None:
+        """Abruptly kill one instance: rollback, restarts, accounting."""
+        rt = self._instances[instance_id]
+        domain = rt.failure_domain
+        retry = self.failures.retry
+        affected = self._jobs_sharing_instance(instance_id)
+        self._advance_all(affected)
+        tasks_lost = 0
+        for task_id in sorted(rt.assigned):
+            task_rt = self._tasks.get(task_id)
+            if task_rt is None:
+                continue
+            self._acct.task_unassigned(task_rt.task, rt.instance.instance_type)
+            task_rt.status = TaskStatus.QUEUED
+            task_rt.instance_id = None
+            task_rt.resume_version += 1
+            task_rt.failures += 1
+            tasks_lost += 1
+            self._acct.task_restarted()
+            if retry.backoff_base_s > 0:
+                delay = min(
+                    retry.backoff_cap_s,
+                    retry.backoff_base_s * (2.0 ** (task_rt.failures - 1)),
+                )
+                task_rt.retry_until_s = max(
+                    task_rt.retry_until_s, self.now_s + delay
+                )
+        job_losses: list[tuple[str, float]] = []
+        for jid in sorted(affected):
+            job_rt = self._jobs.get(jid)
+            if job_rt is None or job_rt.finished:
+                continue
+            lost = job_rt.work_done_h - job_rt.ckpt_work_h
+            if lost > 0.0:
+                # The un-checkpointed progress is gone; the task-level
+                # resume_version bump above makes the loss observable as
+                # real re-execution, not just bookkeeping.
+                job_rt.work_done_h = job_rt.ckpt_work_h
+                self._acct.job_work_lost(lost)
+                job_losses.append((jid, lost))
+            if job_rt.outage_start_s is None:
+                job_rt.outage_start_s = self.now_s
+        rt.assigned.clear()
+        rt.invalidate()
+        rt.alive = False
+        self._placement_epoch += 1
+        self._acct.instance_down(rt.instance.instance_type)
+        self._acct.instance_failed()
+        self.cloud.terminate(instance_id, self.now_s)
+        del self._instances[instance_id]
+        self._failure_outcomes.append(
+            FailureOutcome(
+                instance_index=rt.launch_index,
+                time_s=self.now_s,
+                failure_domain=domain,
+                kind=kind,
+                tasks_lost=tasks_lost,
+                job_losses=tuple(job_losses),
+            )
+        )
+        self._pending_obs.append(
+            InstanceFailed(
+                instance_id=instance_id,
+                time_s=self.now_s,
+                failure_domain=domain,
+            )
+        )
+        self._refresh_rates(affected)
+
+    def _on_slowdown_start(self, instance_id: str, factor: float) -> None:
+        """A straggler fault begins: the instance runs at ``factor``."""
+        rt = self._instances.get(instance_id)
+        if rt is None or not rt.alive:
+            return  # stale straggler draw
+        affected = self._jobs_sharing_instance(instance_id)
+        self._advance_all(affected)
+        rt.slowdown = factor
+        # Reported rates are placement-visible state: bump the epoch so
+        # snapshot/report caches rebuild with the degraded throughput.
+        self._placement_epoch += 1
+        self.queue.push(
+            Event(
+                self.now_s + self.failures.straggler_duration_s,
+                EventKind.SLOWDOWN_END,
+                instance_id,
+            )
+        )
+        self._pending_obs.append(
+            StragglerReport(
+                instance_id=instance_id, time_s=self.now_s, slowdown=factor
+            )
+        )
+        self._refresh_rates(affected)
+        self._ensure_round_scheduled()
+
+    def _on_slowdown_end(self, instance_id: str) -> None:
+        """The straggler recovers; a ``slowdown=1.0`` report announces it."""
+        rt = self._instances.get(instance_id)
+        if rt is None or not rt.alive or rt.slowdown == 1.0:
+            return
+        affected = self._jobs_sharing_instance(instance_id)
+        self._advance_all(affected)
+        rt.slowdown = 1.0
+        self._placement_epoch += 1
+        self._pending_obs.append(
+            StragglerReport(
+                instance_id=instance_id, time_s=self.now_s, slowdown=1.0
+            )
+        )
+        self._refresh_rates(affected)
+        self._ensure_round_scheduled()
+
     def _on_instance_terminate(self, instance_id: str) -> None:
         when = self._terminate_holds.pop(instance_id, None)
         if when is None:
@@ -879,6 +1301,7 @@ class ClusterSimulator:
 
     def _job_rate(self, job_rt: _JobRT) -> float:
         rate = 1.0
+        fail_enabled = self._fail_enabled
         for task in job_rt.job.tasks:
             task_rt = self._tasks[task.task_id]
             if task_rt.status is not TaskStatus.RUNNING:
@@ -886,7 +1309,13 @@ class ClusterSimulator:
             tput = self.interference.task_throughput_sorted(
                 task.workload, tuple(self._running_neighbours(task_rt))
             )
+            if fail_enabled:
+                inst = self._instances.get(task_rt.instance_id)
+                if inst is not None and inst.slowdown != 1.0:
+                    tput *= inst.slowdown
             rate = min(rate, tput)
+        if self._ckpt_rate_mult != 1.0:
+            rate *= self._ckpt_rate_mult
         return rate
 
     def _jobs_sharing_instance(self, instance_id: str | None) -> set[str]:
@@ -914,6 +1343,18 @@ class ClusterSimulator:
                 continue
             rt.rate = new_rate
             rt.finish_version += 1
+            if new_rate > 0 and rt.outage_start_s is not None:
+                # The job's first positive rate since a failure closes
+                # its outage span (per-job MTTR accumulates from these).
+                self._acct.job_repaired(self.now_s - rt.outage_start_s)
+                self._repair_outcomes.append(
+                    RepairOutcome(
+                        job_id=jid,
+                        failed_s=rt.outage_start_s,
+                        recovered_s=self.now_s,
+                    )
+                )
+                rt.outage_start_s = None
             if new_rate > 0:
                 eta_s = self.now_s + (rt.remaining_h / new_rate) * 3600.0
                 self.queue.push(
@@ -935,7 +1376,11 @@ class ClusterSimulator:
             # Cross-check the O(delta) totals against the naive re-scan on
             # every accounting step (tests run with validate=True).
             self._acct.verify(
-                self._instances, self._tasks, self._deadline_outcomes
+                self._instances,
+                self._tasks,
+                self._deadline_outcomes,
+                self._failure_outcomes,
+                self._repair_outcomes,
             )
         self._alloc.accumulate_totals(dt, self._acct)
         self._accounting_time_s = time_s
@@ -950,6 +1395,7 @@ def run_simulation(
     validate: bool = False,
     spot: SpotConfig | None = None,
     deadline_warning_s: float | None = None,
+    failures: FailureConfig | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``scheduler``."""
     sim = ClusterSimulator(
@@ -961,5 +1407,6 @@ def run_simulation(
         validate=validate,
         spot=spot,
         deadline_warning_s=deadline_warning_s,
+        failures=failures,
     )
     return sim.run()

@@ -167,6 +167,35 @@ class TestOrdering:
 
 
 # ---------------------------------------------------------------------------
+# Worker-death resilience
+# ---------------------------------------------------------------------------
+
+
+def _square_or_die(x: int) -> int:
+    import multiprocessing
+    import os
+
+    # Only die inside a pool worker: the serial retry runs in the parent
+    # process, where parent_process() is None, and must succeed.
+    if x == 2 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+class TestWorkerDeath:
+    def test_broken_pool_retries_serially_with_warning(self):
+        """A worker dying mid-batch (OOM-killer territory) must not lose
+        the batch: the poisoned items rerun serially in the parent."""
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            results = parallel_map(_square_or_die, list(range(5)), workers=2)
+        assert results == [0, 1, 4, 9, 16]
+
+    def test_serial_path_unaffected(self):
+        # workers=1 never enters the pool, so nothing dies.
+        assert parallel_map(_square_or_die, [2], workers=1) == [4]
+
+
+# ---------------------------------------------------------------------------
 # Cross-scheduler smoke matrix
 # ---------------------------------------------------------------------------
 

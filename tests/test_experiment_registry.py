@@ -30,6 +30,7 @@ from repro.workloads.synthetic import small_physical_trace
 
 ALL_IDS = {
     "deadline-slo",
+    "reliability",
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
     "table01", "table04", "table05", "table06", "table07",
@@ -39,6 +40,7 @@ ALL_IDS = {
 
 GRID_IDS = {
     "deadline-slo",
+    "reliability",
     "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
     "table06", "table10", "table11", "table13", "table14",

@@ -32,7 +32,12 @@ import pytest
 
 from repro.cloud.catalog import ec2_catalog
 from repro.core import make_scheduler
-from repro.sim.simulator import SpotConfig, run_simulation
+from repro.sim.simulator import (
+    FailureConfig,
+    RetryPolicy,
+    SpotConfig,
+    run_simulation,
+)
 from repro.workloads.alibaba import (
     alibaba_gavel_trace,
     alibaba_multi_task_trace,
@@ -46,6 +51,10 @@ GOLDEN_PATH = Path(__file__).parent / "data" / "golden_digests.json"
 #: (regen runs select one test file/function, not one env var).
 GOLDEN_DEADLINE_PATH = (
     Path(__file__).parent / "data" / "golden_digests_deadline.json"
+)
+#: Failure-injection cells, same per-file isolation rationale.
+GOLDEN_FAILURE_PATH = (
+    Path(__file__).parent / "data" / "golden_digests_failure.json"
 )
 
 #: Pinned so the digest does not move when a newer interpreter bumps
@@ -193,3 +202,95 @@ def test_deadline_results_match_golden_digests():
         for cell_id, scheduler, kwargs in cells
     }
     _check_against_golden(actual, GOLDEN_DEADLINE_PATH)
+
+
+def _failure_matrix() -> list[tuple[str, str, dict]]:
+    """The fault-injection cells: failure regimes × reaction policies.
+
+    Pins the whole new surface: the two fault RNG streams (per-launch
+    crash/straggler draws, self-scheduling domain shocks), rollback to
+    the last checkpoint boundary, retry backoff, the checkpoint
+    throughput tax, the ``InstanceFailed``/``StragglerReport``
+    observation emission, the ``eva-failure`` hazard/urgency/drain
+    policy, and the failure fields of ``SimulationResult`` — each cell
+    runs ``validate=True`` so the naive accounting cross-checks are part
+    of the pinned path.
+    """
+    cells: list[tuple[str, str, dict]] = []
+    fsyn = synthetic_trace(
+        16,
+        seed=7,
+        mean_interarrival_s=600.0,
+        duration_range_hours=(0.2, 1.0),
+        name="golden-fsyn16",
+    )
+    # Crashes + shocks + stragglers together (the full regime).
+    full = FailureConfig(
+        enabled=True,
+        crash_rate_per_hour=0.3,
+        domain_shock_rate_per_hour=0.1,
+        straggler_rate_per_hour=0.3,
+        retry=RetryPolicy(
+            checkpoint_interval_s=900.0, checkpoint_overhead=0.02
+        ),
+        seed=7,
+    )
+    for scheduler in ("eva", "eva-failure", "no-packing"):
+        cells.append(
+            (
+                f"fsyn16-full-{scheduler}",
+                scheduler,
+                {"trace": fsyn, "failures": full, "validate": True},
+            )
+        )
+    # Shock-dominated: correlated domain kills with no background noise.
+    shocks = FailureConfig(
+        enabled=True,
+        domain_shock_rate_per_hour=0.4,
+        num_domains=2,
+        retry=RetryPolicy(checkpoint_interval_s=1200.0),
+        seed=8,
+    )
+    for scheduler in ("eva", "eva-failure"):
+        cells.append(
+            (
+                f"fsyn16-shocks-{scheduler}",
+                scheduler,
+                {"trace": fsyn, "failures": shocks, "validate": True},
+            )
+        )
+    # Straggler-only: degraded capacity, nothing ever dies.
+    slow = FailureConfig(
+        enabled=True,
+        straggler_rate_per_hour=0.8,
+        straggler_slowdown=(0.3, 0.6),
+        straggler_duration_s=1800.0,
+        seed=9,
+    )
+    for scheduler in ("eva", "eva-failure"):
+        cells.append(
+            (
+                f"fsyn16-slow-{scheduler}",
+                scheduler,
+                {"trace": fsyn, "failures": slow, "validate": True},
+            )
+        )
+    fali = synthesize_alibaba_trace(40, seed=10)
+    cells.append(
+        (
+            "fali40-eva-failure",
+            "eva-failure",
+            {"trace": fali, "failures": full, "validate": True},
+        )
+    )
+    assert len(cells) == 8, f"failure matrix drifted to {len(cells)} cells"
+    return cells
+
+
+def test_failure_results_match_golden_digests():
+    cells = _failure_matrix()
+    actual = {
+        cell_id: _digest(kwargs, scheduler)
+        for cell_id, scheduler, kwargs in cells
+    }
+    _check_against_golden(actual, GOLDEN_FAILURE_PATH)

@@ -3,11 +3,15 @@
 import pytest
 
 from repro.cloud.catalog import ec2_catalog
+from repro.cloud.provider import SimulatedCloud
 from repro.cluster.instance import fresh_instance
 from repro.interference.model import InterferenceModel, no_interference_model
-from repro.runtime.container import GlobalStorage
+from repro.runtime.container import ContainerState, GlobalStorage
+from repro.runtime.executor import Executor
+from repro.runtime.provisioner import Provisioner
 from repro.runtime.rpc import RpcBus
 from repro.runtime.worker import Worker
+from repro.workloads.synthetic import synthetic_trace
 
 
 def _worker(interference=None, storage=None):
@@ -79,6 +83,123 @@ class TestMigrationFlow:
         w.remove_task("t")
         assert storage.get("ckpt/t") is None
         assert w.remove_task("t") == {"removed": False}
+
+
+class TestFailureRecovery:
+    """The checkpoint/restore loop the fault-injection layer leans on:
+    a killed worker forfeits exactly the progress made since the last
+    checkpoint — never more, never less."""
+
+    def test_kill_loses_exactly_uncheckpointed_iterations(self):
+        storage = GlobalStorage()
+        doomed = _worker(storage=storage)
+        doomed.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        doomed.advance(50.0)
+        doomed.checkpoint_task("t")
+        doomed.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        doomed.advance(30.0)  # 80 iterations live, 50 durable
+        # The instance dies: the worker is simply abandoned — no
+        # checkpoint_task runs, so the 30 post-checkpoint iterations
+        # exist nowhere but in the dead worker's memory.
+        del doomed
+        assert storage.get("ckpt/t")["iterations"] == pytest.approx(50.0)
+
+        replacement = _worker(storage=storage)
+        response = replacement.launch_task(
+            task_id="t", workload="GCN", image="i", command="c"
+        )
+        assert response["restored"] is True
+        assert replacement.iterations_of("t") == pytest.approx(50.0)
+        assert replacement._tasks["t"].container.restore_count == 1
+
+    def test_kill_before_first_checkpoint_restarts_from_zero(self):
+        storage = GlobalStorage()
+        doomed = _worker(storage=storage)
+        doomed.launch_task(task_id="t", workload="GCN", image="i", command="c")
+        doomed.advance(99.0)
+        del doomed
+        replacement = _worker(storage=storage)
+        response = replacement.launch_task(
+            task_id="t", workload="GCN", image="i", command="c"
+        )
+        assert response["restored"] is False
+        assert replacement.iterations_of("t") == 0.0
+
+    def test_restore_counts_accumulate_across_incarnations(self):
+        storage = GlobalStorage()
+        iterations = 0.0
+        for incarnation in range(3):
+            w = _worker(storage=storage)
+            w.launch_task(task_id="t", workload="GCN", image="i", command="c")
+            assert w.iterations_of("t") == pytest.approx(iterations)
+            w.advance(10.0)
+            iterations += 10.0
+            w.checkpoint_task("t")
+        assert storage.get("ckpt/t")["iterations"] == pytest.approx(30.0)
+
+
+class TestExecutorUnassignLoop:
+    """Executor semantics under the retry loop: unassign is
+    checkpoint-then-teardown, and a later placement anywhere restores."""
+
+    def _cluster(self):
+        bus = RpcBus()
+        storage = GlobalStorage()
+        provisioner = Provisioner(
+            cloud=SimulatedCloud(),
+            bus=bus,
+            storage=storage,
+            interference=no_interference_model(),
+        )
+        ids = []
+        for _ in range(2):
+            receipt = provisioner.launch(
+                fresh_instance(ec2_catalog()[2]), now_s=0.0
+            )
+            ids.append(receipt.instance.instance_id)
+        return Executor(bus=bus, provisioner=provisioner), provisioner, ids
+
+    def _task(self):
+        job = next(iter(synthetic_trace(1, seed=0, name="exec-loop")))
+        return job.tasks[0]
+
+    def test_unassign_is_checkpoint_then_teardown(self):
+        executor, provisioner, (a, _) = self._cluster()
+        task = self._task()
+        executor.place_task(task, a)
+        worker = provisioner.worker_of(a)
+        worker.advance(40.0)
+        executor.unassign_task(task, a)
+        assert worker.hosted_task_ids() == []
+        assert provisioner.storage.get(f"ckpt/{task.task_id}")[
+            "iterations"
+        ] == pytest.approx(40.0)
+        assert executor.stats.unassignments == 1
+
+    def test_replacement_placement_resumes_from_checkpoint(self):
+        executor, provisioner, (a, b) = self._cluster()
+        task = self._task()
+        executor.place_task(task, a)
+        provisioner.worker_of(a).advance(40.0)
+        executor.unassign_task(task, a)
+        # The queue drains onto the second instance; nothing re-runs.
+        executor.place_task(task, b)
+        dst = provisioner.worker_of(b)
+        assert dst.iterations_of(task.task_id) == pytest.approx(40.0)
+        dst.advance(5.0)
+        assert dst.iterations_of(task.task_id) == pytest.approx(45.0)
+        container = dst._tasks[task.task_id].container
+        assert container.state is ContainerState.RUNNING
+        assert container.restore_count == 1
+
+    def test_crashed_instance_terminates_clean_after_unassign(self):
+        executor, provisioner, (a, _) = self._cluster()
+        task = self._task()
+        executor.place_task(task, a)
+        executor.unassign_task(task, a)
+        # Teardown left no live tasks, so the provisioner may reclaim it.
+        provisioner.terminate(a, now_s=10.0)
+        assert a not in provisioner.active_instance_ids()
 
 
 class TestRpcSurface:

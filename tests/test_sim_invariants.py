@@ -37,10 +37,20 @@ from repro.core.protocol import (
     TerminateInstance,
     replay_decision,
 )
-from repro.sim.accounting import naive_deadline_totals, naive_totals
+from repro.sim.accounting import (
+    naive_deadline_totals,
+    naive_failure_totals,
+    naive_totals,
+)
 from repro.sim.batch import Scenario, TraceSpec, run_batch
 from repro.sim.metrics import AllocationIntegrator, SimulationResult
-from repro.sim.simulator import ClusterSimulator, SpotConfig, run_simulation
+from repro.sim.simulator import (
+    ClusterSimulator,
+    FailureConfig,
+    RetryPolicy,
+    SpotConfig,
+    run_simulation,
+)
 from repro.workloads.synthetic import synthetic_trace
 from repro.workloads.trace import Trace
 
@@ -100,6 +110,47 @@ def check_invariants(
 
     # -- SLO accounting consistency ------------------------------------
     check_slo_consistency(trace, result)
+
+    # -- failure accounting consistency --------------------------------
+    check_failure_consistency(result)
+
+
+def check_failure_consistency(result: SimulationResult) -> None:
+    """The reliability records must be complete and self-consistent.
+
+    * the naive re-scan of the failure/repair records reproduces the
+      incremental O(1)-per-event counters bit for bit (records are
+      stored in dispatch/recovery order — the accumulation order);
+    * every repair span is non-negative and goodput is a fraction;
+    * a fault-free run carries exactly the zero defaults (so its pickle
+      stays byte-identical to the pre-failure-subsystem encoding).
+    """
+    failures, restarts, lost, repairs, repair_s = naive_failure_totals(
+        result.failure_outcomes, result.repair_outcomes
+    )
+    assert failures == result.instance_failures
+    assert restarts == result.task_restarts
+    assert lost == result.work_lost_h
+    assert repairs == len(result.repair_outcomes)
+    # statistics.mean is exact (fraction arithmetic); the naive float
+    # sum may differ in the last ulp, so the *mean* is approx — the
+    # bit-for-bit contract lives on the totals above.
+    assert result.mean_mttr_s() == pytest.approx(
+        repair_s / repairs if repairs else 0.0, rel=1e-12, abs=0.0
+    )
+    for outcome in result.failure_outcomes:
+        assert outcome.kind in ("crash", "domain-shock")
+        assert outcome.tasks_lost >= 0
+        assert outcome.instance_index >= 0
+        assert all(l > 0.0 for _, l in outcome.job_losses)
+    for repair in result.repair_outcomes:
+        assert repair.recovered_s >= repair.failed_s
+    assert 0.0 < result.goodput_fraction <= 1.0
+    if not result.failure_outcomes:
+        assert result.task_restarts == 0
+        assert result.work_lost_h == 0.0
+        assert result.repair_outcomes == ()
+        assert result.goodput_fraction == 1.0
 
 
 def check_slo_consistency(trace: Trace, result: SimulationResult) -> None:
@@ -409,12 +460,15 @@ class TestIncrementalAccountingEquivalence:
 def _fuzz_scenario(seed: int) -> Scenario:
     """One seeded random scenario over the full configuration space.
 
-    Draws scheduler (deadline-aware, eviction-aware, Eva, baselines) ×
-    spot market (off / on, with and without notice windows) × deadline
-    knobs (fraction, tightness, warning horizon) × period, on top of a
-    seed-sized synthetic trace.  Everything derives from ``seed``, so a
-    failing case replays exactly; ``validate=True`` arms the per-event
-    accounting cross-check and decision replay inside the run itself.
+    Draws scheduler (deadline-aware, eviction-aware, failure-aware, Eva,
+    baselines) × spot market (off / on, with and without notice windows)
+    × deadline knobs (fraction, tightness, warning horizon) × fault
+    injection (crash/shock/straggler rates, retry backoff, checkpoint
+    cadence and overhead) × period, on top of a seed-sized synthetic
+    trace.  Everything derives from ``seed``, so a failing case replays
+    exactly; ``validate=True`` arms the per-event accounting cross-check
+    (including the naive failure/repair totals) and decision replay
+    inside the run itself.
     """
     rng = np.random.default_rng(100_000 + seed)
     scheduler = ["eva", "eva-deadline", "eva-eviction-aware", "stratus",
@@ -457,15 +511,37 @@ def _fuzz_scenario(seed: int) -> Scenario:
     deadline_warning_s = float(
         rng.choice([0.0, 600.0, 3600.0, 7 * 24 * 3600.0])
     )
+    period_s = float(rng.choice([150.0, 300.0]))
+    # Fault-injection axis (drawn last so earlier axes replay unchanged
+    # for a given seed against the pre-failure fuzz corpus).
+    failures = None
+    if rng.random() < 0.5:
+        retry = RetryPolicy(
+            backoff_base_s=float(rng.choice([0.0, 60.0, 300.0])),
+            checkpoint_interval_s=float(rng.choice([600.0, 1800.0])),
+            checkpoint_overhead=float(rng.choice([0.0, 0.02, 0.05])),
+        )
+        failures = FailureConfig(
+            enabled=True,
+            crash_rate_per_hour=float(rng.choice([0.0, 0.2, 0.5])),
+            domain_shock_rate_per_hour=float(rng.choice([0.0, 0.15])),
+            straggler_rate_per_hour=float(rng.choice([0.0, 0.4])),
+            num_domains=int(rng.integers(2, 5)),
+            retry=retry,
+            seed=seed,
+        )
+        if rng.random() < 0.4:
+            scheduler = "eva-failure"
     return Scenario(
         scheduler=scheduler,
         trace=trace,
         name=f"fuzz-{seed}",
         spot=spot,
-        period_s=float(rng.choice([150.0, 300.0])),
+        period_s=period_s,
         validate=True,
         seed=seed,
         deadline_warning_s=deadline_warning_s,
+        failures=failures,
     )
 
 
@@ -483,6 +559,27 @@ class _NaiveSLOSimulator(ClusterSimulator):
         self._acct.deadline_jobs = jobs
         self._acct.deadline_misses = misses
         self._acct.deadline_lateness_s = lateness
+
+
+class _NaiveFailureSimulator(ClusterSimulator):
+    """Recomputes the reliability aggregates from scratch every step.
+
+    Same pattern as :class:`_NaiveSLOSimulator`, for the failure side:
+    the O(1)-per-event restart/work-lost/repair counters are overwritten
+    with a full replay of the dispatch-order records — results must stay
+    byte-identical to the incremental path.
+    """
+
+    def _account_until(self, time_s: float) -> None:
+        super()._account_until(time_s)
+        failures, restarts, lost, repairs, repair_s = naive_failure_totals(
+            self._failure_outcomes, self._repair_outcomes
+        )
+        self._acct.instance_failures = failures
+        self._acct.task_restarts = restarts
+        self._acct.work_lost_h = lost
+        self._acct.repairs = repairs
+        self._acct.repair_time_s = repair_s
 
 
 class TestFuzzedScenarioInvariants:
@@ -530,6 +627,26 @@ class TestFuzzedScenarioInvariants:
                 period_s=scenario.period_s,
                 spot=scenario.spot,
                 deadline_warning_s=scenario.deadline_warning_s,
+                failures=scenario.failures,
+            )
+            results.append(sim.run())
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    @pytest.mark.parametrize("seed", [1, 5, 9, 14])
+    def test_fuzzed_failure_totals_naive_vs_incremental_byte_identical(
+        self, seed, catalog
+    ):
+        scenario = _fuzz_scenario(seed)
+        trace = scenario.trace.build(default_seed=scenario.seed)
+        results = []
+        for sim_cls in (ClusterSimulator, _NaiveFailureSimulator):
+            sim = sim_cls(
+                trace=trace,
+                scheduler=make_scheduler(scenario.scheduler, catalog),
+                period_s=scenario.period_s,
+                spot=scenario.spot,
+                deadline_warning_s=scenario.deadline_warning_s,
+                failures=scenario.failures,
             )
             results.append(sim.run())
         assert pickle.dumps(results[0]) == pickle.dumps(results[1])
@@ -540,6 +657,7 @@ class TestFuzzedScenarioInvariants:
         assert len(scenarios) >= 20
         schedulers = {s.scheduler for s in scenarios}
         assert "eva-deadline" in schedulers
+        assert "eva-failure" in schedulers
         assert len(schedulers) >= 4
         assert any(s.spot is not None and s.spot.notice_s > 0 for s in scenarios)
         assert any(s.spot is None for s in scenarios)
@@ -552,6 +670,14 @@ class TestFuzzedScenarioInvariants:
                 1 for j in trace if j.deadline_hours is not None
             )
         assert deadline_jobs > 10
+        # Fault-injection axis: both arms populated, every fault family
+        # drawn somewhere, and backoff/checkpoint knobs actually vary.
+        with_faults = [s.failures for s in scenarios if s.failures is not None]
+        assert with_faults and any(s.failures is None for s in scenarios)
+        assert any(f.crash_rate_per_hour > 0 for f in with_faults)
+        assert any(f.domain_shock_rate_per_hour > 0 for f in with_faults)
+        assert any(f.straggler_rate_per_hour > 0 for f in with_faults)
+        assert len({f.retry.checkpoint_overhead for f in with_faults}) > 1
 
 
 class TestPackKernelByteIdentity:
@@ -575,6 +701,7 @@ class TestPackKernelByteIdentity:
                 period_s=scenario.period_s,
                 spot=scenario.spot,
                 deadline_warning_s=scenario.deadline_warning_s,
+                failures=scenario.failures,
             )
             results.append(sim.run())
         assert pickle.dumps(results[0]) == pickle.dumps(results[1])
