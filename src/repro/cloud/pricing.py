@@ -23,6 +23,16 @@ class BillingRecord:
 
     ``hourly_rate`` defaults to the type's on-demand price; spot launches
     record a discounted rate instead.
+
+    Mid-life price changes (an attached spot market re-rating live
+    instances) split the record into closed rate segments *in place*:
+    :meth:`change_rate` folds the finished segment into ``accrued_cost``
+    and restarts the open segment at the new rate, so there is still
+    exactly one record per instance (``instances_launched`` and the
+    uptime distribution are untouched) and both :meth:`change_rate` and
+    :meth:`cost` stay O(1).  ``segment_start_s is None`` means the
+    record was never re-rated — that path's cost arithmetic is the
+    pre-market expression, bit for bit.
     """
 
     instance_id: str
@@ -30,6 +40,10 @@ class BillingRecord:
     launch_time_s: float
     termination_time_s: float | None = None
     hourly_rate: float | None = None
+    #: Start of the open rate segment; None until the first re-rate.
+    segment_start_s: float | None = None
+    #: Dollar cost of all closed rate segments.
+    accrued_cost: float = 0.0
 
     def __post_init__(self) -> None:
         if self.hourly_rate is None:
@@ -39,8 +53,32 @@ class BillingRecord:
         end = self.termination_time_s if self.termination_time_s is not None else now_s
         return max(0.0, end - self.launch_time_s)
 
+    def change_rate(self, time_s: float, hourly_rate: float) -> None:
+        """Close the current rate segment at ``time_s``; bill the rest at
+        ``hourly_rate``."""
+        if self.termination_time_s is not None:
+            raise ValueError(
+                f"instance {self.instance_id} already terminated; cannot re-rate"
+            )
+        start = (
+            self.segment_start_s
+            if self.segment_start_s is not None
+            else self.launch_time_s
+        )
+        if time_s < start:
+            raise ValueError(
+                f"re-rate time {time_s} precedes open segment start {start}"
+            )
+        self.accrued_cost += (time_s - start) * self.hourly_rate / 3600.0
+        self.segment_start_s = time_s
+        self.hourly_rate = hourly_rate
+
     def cost(self, now_s: float) -> float:
-        return self.uptime_s(now_s) * self.hourly_rate / 3600.0
+        if self.segment_start_s is None:
+            return self.uptime_s(now_s) * self.hourly_rate / 3600.0
+        end = self.termination_time_s if self.termination_time_s is not None else now_s
+        open_s = max(0.0, end - self.segment_start_s)
+        return self.accrued_cost + open_s * self.hourly_rate / 3600.0
 
     @property
     def is_active(self) -> bool:
@@ -78,6 +116,10 @@ class BillingLedger:
                 f"termination time {time_s} precedes launch {record.launch_time_s}"
             )
         record.termination_time_s = time_s
+
+    def change_rate(self, instance_id: str, time_s: float, hourly_rate: float) -> None:
+        """Re-rate a live instance from ``time_s`` on (O(1) per change)."""
+        self.records[instance_id].change_rate(time_s, hourly_rate)
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -14,12 +14,16 @@ tasks.  Task execution is the simulator's (or runtime's) job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cloud.delays import DelayModel
 from repro.cloud.pricing import BillingLedger
 from repro.cluster.instance import Instance, InstanceType, fresh_instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.market import MarketRuntime
 
 #: Default AZ list, mirroring a typical us-east-1 layout.
 DEFAULT_ZONES = ("az-a", "az-b", "az-c", "az-d")
@@ -37,7 +41,12 @@ class LaunchReceipt:
         attempts: Number of AZs tried (1 = default zone had capacity).
         spot: Whether this is a preemptible spot launch.
         hourly_rate: Billed rate — the on-demand price, or the discounted
-            spot price for spot launches.
+            spot price for spot launches, scaled by the market pool's
+            current multiplier when a market is attached.
+        pool: Market pool the launch was charged to (None without a
+            market, or for a family no pool covers).
+        pool_exhausted: True when the launch landed beyond its pool's
+            capacity and paid the backlog delay.
     """
 
     instance: Instance
@@ -47,6 +56,8 @@ class LaunchReceipt:
     attempts: int
     spot: bool = False
     hourly_rate: float = 0.0
+    pool: str | None = None
+    pool_exhausted: bool = False
 
 
 class CapacityError(RuntimeError):
@@ -67,6 +78,12 @@ class SimulatedCloud:
         ledger: Billing ledger (shared with the metrics collector).
         spot_discount: Price multiplier for spot launches (EC2 spot
             typically trades at ~30% of on-demand; default 0.3).
+        market: Optional :class:`~repro.cloud.market.MarketRuntime`.
+            When attached, launches price through :meth:`price_at`
+            (pool multiplier on top of the catalog rate), charge pool
+            capacity, and over-capacity launches pay the pool's backlog
+            delay.  ``None`` — the default — is the byte-identical
+            legacy path.
     """
 
     delay_model: DelayModel = field(default_factory=DelayModel)
@@ -75,6 +92,7 @@ class SimulatedCloud:
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     ledger: BillingLedger = field(default_factory=BillingLedger)
     spot_discount: float = 0.3
+    market: "MarketRuntime | None" = None
 
     def __post_init__(self) -> None:
         if not self.zones:
@@ -127,7 +145,20 @@ class SimulatedCloud:
                 f"{instance.instance_type.name}, not {instance_type.name}"
             )
         ready_time_s = time_s + acquisition_total + self.delay_model.setup_s()
-        rate = instance_type.hourly_cost * (self.spot_discount if spot else 1.0)
+        rate = self.price_at(instance_type, time_s, spot=spot)
+        pool_name: str | None = None
+        pool_exhausted = False
+        if self.market is not None:
+            pool, pool_exhausted = self.market.on_launch(
+                instance.instance_id, instance_type
+            )
+            if pool is not None:
+                pool_name = pool.name
+                if pool_exhausted:
+                    # Waitlisted, not refused: the launch stays executable
+                    # (scheduler decisions were validated against it) but
+                    # provisioning drags while the pool runs hot.
+                    ready_time_s += pool.backlog_delay_s
         self.ledger.on_launch(
             instance.instance_id, instance_type, time_s, hourly_rate=rate
         )
@@ -139,11 +170,30 @@ class SimulatedCloud:
             attempts=attempts,
             spot=spot,
             hourly_rate=rate,
+            pool=pool_name,
+            pool_exhausted=pool_exhausted,
         )
+
+    def price_at(
+        self, instance_type: InstanceType, time_s: float, spot: bool = False
+    ) -> float:
+        """Hourly rate for ``instance_type`` at ``time_s``.
+
+        The billing hook every launch prices through: catalog on-demand
+        rate, spot discount, and — when a market is attached — the
+        owning pool's current price multiplier.  Without a market the
+        arithmetic is exactly the legacy launch-time constant.
+        """
+        rate = instance_type.hourly_cost * (self.spot_discount if spot else 1.0)
+        if self.market is not None:
+            rate *= self.market.multiplier_at(instance_type, time_s)
+        return rate
 
     def terminate(self, instance_id: str, time_s: float) -> None:
         """Terminate an instance; billing stops immediately."""
         self.ledger.on_terminate(instance_id, time_s)
+        if self.market is not None:
+            self.market.on_terminate(instance_id)
 
     # ------------------------------------------------------------------
     # Introspection

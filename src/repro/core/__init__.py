@@ -48,6 +48,10 @@ from repro.core.failure import (
     HazardTNRPEvaluator,
 )
 from repro.core.ilp import ILPResult, ilp_schedule
+from repro.core.market import (
+    MarketAwareEvaScheduler,
+    MarketPolicyConfig,
+)
 from repro.core.interfaces import JobThroughputReport, Scheduler
 from repro.core.monitor import ThroughputMonitor
 from repro.core.partial_reconfig import (
@@ -66,6 +70,8 @@ from repro.core.protocol import (
     LaunchInstance,
     MigrateTask,
     Observation,
+    PoolExhausted,
+    PriceChanged,
     ProtocolError,
     SpotEvictionNotice,
     StragglerReport,
@@ -196,9 +202,14 @@ def _make_failure_aware(catalog, interference=None, delay_model=None) -> Schedul
     return FailureAwareEvaScheduler(catalog, delay_model=delay_model)
 
 
+def _make_market_aware(catalog, interference=None, delay_model=None) -> Scheduler:
+    return MarketAwareEvaScheduler(catalog, delay_model=delay_model)
+
+
 register_scheduler("eva-eviction-aware", _make_eviction_aware)
 register_scheduler("eva-deadline", _make_deadline_aware)
 register_scheduler("eva-failure", _make_failure_aware)
+register_scheduler("eva-market", _make_market_aware)
 register_scheduler("no-packing", _make_no_packing)
 register_scheduler("stratus", _make_stratus)
 register_scheduler("synergy", _make_synergy)
@@ -255,6 +266,8 @@ __all__ = [
     "FailureAwareConfig",
     "FailureAwareEvaScheduler",
     "HazardTNRPEvaluator",
+    "MarketAwareEvaScheduler",
+    "MarketPolicyConfig",
     "make_eva_variant",
     "Action",
     "AssignTask",
@@ -267,6 +280,8 @@ __all__ = [
     "LaunchInstance",
     "MigrateTask",
     "Observation",
+    "PoolExhausted",
+    "PriceChanged",
     "ProtocolError",
     "SpotEvictionNotice",
     "StragglerReport",

@@ -1,0 +1,308 @@
+"""Market-aware scheduling: live pool prices folded into reservation prices.
+
+Eva's reservation price *is* a price — the cheapest hourly rate that
+could host a task (§4.2) — but the stock calculator reads the catalog's
+static on-demand column.  When a spot market moves pool prices, a
+cost-efficiency argmax against stale prices keeps packing jobs into a
+pool whose discount has evaporated.  This module makes RP track the
+live market while leaving the Algorithm-1 path untouched, following the
+protocol-native precedents (eviction PR 4, deadline PR 5, failure PR 7):
+
+* **Price tracking** — the scheduler consumes
+  :class:`~repro.core.protocol.PriceChanged` observations (never market
+  internals) into a per-family multiplier map.  Each round it prices
+  packing against a *repriced catalog* — the stock catalog with each
+  type's ``hourly_cost`` scaled by its family's current multiplier —
+  through a :class:`~repro.core.reservation_price.ReservationPriceCalculator`
+  built per price level and cached.  Because every RP/TNRP/packing memo
+  keys on the calculator's ``catalog_token`` (which embeds the hourly
+  costs), the existing cache discipline partitions per price level for
+  free; with all multipliers at 1 the scheduler runs the stock
+  calculator, stock caches, stock everything — byte-identical to
+  :class:`~repro.core.scheduler.EvaScheduler`.
+
+* **Cross-pool migration** — emerges from the ordinary path: when pool
+  A's multiplier rises, A's types price out of the full-reconfiguration
+  argmax and the cost-efficiency criterion, so new and repacked tasks
+  land in the cheaper pool and drained instances in the expensive one
+  terminate.  No bespoke migration mechanism exists.
+
+* **Bid ceiling** — a family whose multiplier exceeds ``bid_ceiling``
+  is withheld from the packing catalog entirely (the scheduler refuses
+  to bid at that price), *unless* dropping it would strand demand: a
+  family is only droppable while some surviving family's per-dimension
+  maximum capacity covers it (GPU types therefore never drop when they
+  are the only GPU capacity).
+
+* **On-demand fallback** — :class:`~repro.core.protocol.SpotEvictionNotice`
+  observations within ``storm_window_s`` of each other count toward an
+  eviction storm; at ``storm_threshold`` the scheduler clears its
+  ``use_spot`` flag for ``storm_cooldown_s``, and the simulator bills
+  subsequent launches at the full on-demand rate with no preemption
+  draw — paying the premium to stop churning.
+
+* **Capacity pressure** — a :class:`~repro.core.protocol.PoolExhausted`
+  observation applies a one-round ``exhaust_penalty`` price floor to
+  the pool's families; if launches keep tripping the pool's capacity
+  the penalty keeps re-arming, steering load toward pools with room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar, Sequence
+
+from repro.cloud.delays import DelayModel
+from repro.cluster.instance import InstanceType
+from repro.cluster.state import ClusterSnapshot
+from repro.core.evaluation import (
+    AssignmentEvaluator,
+    RPEvaluator,
+    TNRPCaches,
+    TNRPEvaluator,
+)
+from repro.core.protocol import (
+    Observation,
+    PoolExhausted,
+    PriceChanged,
+    SpotEvictionNotice,
+)
+from repro.core.reservation_price import ReservationPriceCalculator
+from repro.core.scheduler import EvaConfig, EvaScheduler
+
+__all__ = [
+    "MarketPolicyConfig",
+    "MarketAwareEvaScheduler",
+]
+
+
+@dataclass(frozen=True)
+class MarketPolicyConfig:
+    """Bid/fallback knobs of the market-aware policy.
+
+    Attributes:
+        bid_ceiling: Maximum price multiplier the scheduler will bid at;
+            families priced above it are withheld from packing when a
+            covering family survives (see module docstring).
+        storm_threshold: Eviction notices within the window that declare
+            an eviction storm.  On-demand trades at ~3x the spot rate,
+            so the fallback is an emergency brake against pathological
+            churn, not a routine response — the default only trips when
+            evictions cluster far beyond the background rate.
+        storm_window_s: Sliding window (over notice eviction times) the
+            threshold counts in.
+        storm_cooldown_s: How long after a storm declaration launches
+            stay on-demand.
+        exhaust_penalty: One-round price-multiplier floor applied to an
+            exhausted pool's families.
+    """
+
+    bid_ceiling: float = 1.6
+    storm_threshold: int = 6
+    storm_window_s: float = 900.0
+    storm_cooldown_s: float = 900.0
+    exhaust_penalty: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.bid_ceiling < 1.0:
+            raise ValueError(f"bid_ceiling must be >= 1, got {self.bid_ceiling}")
+        if self.storm_threshold < 1:
+            raise ValueError(
+                f"storm_threshold must be >= 1, got {self.storm_threshold}"
+            )
+        if self.storm_window_s <= 0:
+            raise ValueError(
+                f"storm_window_s must be > 0, got {self.storm_window_s}"
+            )
+        if self.storm_cooldown_s < 0:
+            raise ValueError(
+                f"storm_cooldown_s must be >= 0, got {self.storm_cooldown_s}"
+            )
+        if self.exhaust_penalty < 1.0:
+            raise ValueError(
+                f"exhaust_penalty must be >= 1, got {self.exhaust_penalty}"
+            )
+
+
+class MarketAwareEvaScheduler(EvaScheduler):
+    """Eva bidding into a live spot market (see module docstring).
+
+    Protocol-native: prices, capacity pressure, and eviction storms
+    reach it exclusively as typed observations.  With no market
+    observations (or all multipliers back at 1) every round runs the
+    stock :class:`~repro.core.scheduler.EvaScheduler` path byte for
+    byte — the market golden matrix pins the reaction, the legacy
+    matrices pin the identity.
+    """
+
+    #: Cached repriced calculators per distinct price level (bounded;
+    #: quantized pool prices keep the level count small in practice).
+    _MAX_PRICE_LEVELS: ClassVar[int] = 64
+
+    def __init__(
+        self,
+        catalog: Sequence[InstanceType],
+        config: EvaConfig | None = None,
+        delay_model: DelayModel | None = None,
+        name: str | None = None,
+        market_config: MarketPolicyConfig | None = None,
+    ):
+        super().__init__(
+            catalog,
+            config=config,
+            delay_model=delay_model,
+            name=name or "Eva-Market-Aware",
+        )
+        self.market_config = market_config or MarketPolicyConfig()
+        #: family -> current market multiplier (absent == 1.0).
+        self._multipliers: dict[str, float] = {}
+        #: pool -> families, pending one-round exhaustion penalties.
+        self._exhausted: dict[str, tuple[str, ...]] = {}
+        #: Eviction times of recent spot notices (storm detector).
+        self._notice_times: list[float] = []
+        #: Simulation time until which launches stay on-demand.
+        self._storm_until = float("-inf")
+        #: Read by the simulator at each launch (True = bid spot).
+        self.use_spot = True
+        #: Effective family multipliers this round (prices + penalties).
+        self._effective: dict[str, float] = {}
+        self._stock_catalog = self.catalog
+        self._stock_calculator = self.rp_calculator
+        #: price level -> (packing catalog, calculator, TNRP caches).
+        self._price_levels: dict[
+            tuple, tuple[list[InstanceType], ReservationPriceCalculator, TNRPCaches]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Observation channel
+    # ------------------------------------------------------------------
+    def observe(self, observations: tuple[Observation, ...]) -> None:
+        super().observe(observations)
+        for obs in observations:
+            if isinstance(obs, PriceChanged):
+                for family in obs.families:
+                    if obs.multiplier == 1.0:
+                        # Back at par: forget the family so an all-par
+                        # market runs the stock byte-identical path.
+                        self._multipliers.pop(family, None)
+                    else:
+                        self._multipliers[family] = obs.multiplier
+            elif isinstance(obs, PoolExhausted):
+                self._exhausted[obs.pool] = obs.families
+            elif isinstance(obs, SpotEvictionNotice):
+                self._notice_times.append(obs.eviction_time_s)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pre_schedule(self, snapshot: ClusterSnapshot) -> None:
+        # Runs on memoized rounds too, so the storm detector and the
+        # penalty decay never go stale.
+        now = snapshot.time_s
+        cfg = self.market_config
+        self._notice_times = [
+            t for t in self._notice_times if t > now - cfg.storm_window_s
+        ]
+        if len(self._notice_times) >= cfg.storm_threshold:
+            self._storm_until = now + cfg.storm_cooldown_s
+            # Consume the notices that declared the storm: extending the
+            # cooldown requires a fresh cluster of evictions, not the
+            # same ones re-counted every round.
+            self._notice_times.clear()
+        self.use_spot = not now < self._storm_until
+        effective = dict(self._multipliers)
+        for families in self._exhausted.values():
+            for family in families:
+                effective[family] = max(
+                    effective.get(family, 1.0), cfg.exhaust_penalty
+                )
+        # Penalties last one round; a still-hot pool re-emits on the
+        # next over-capacity launch, re-arming them.
+        self._exhausted.clear()
+        self._effective = {f: m for f, m in effective.items() if m != 1.0}
+        self._apply_price_level(self._effective)
+        super()._pre_schedule(snapshot)
+
+    def _apply_price_level(self, effective: dict[str, float]) -> None:
+        """Point catalog + calculator at the current price level."""
+        if not effective:
+            self.catalog = self._stock_catalog
+            self.rp_calculator = self._stock_calculator
+            return
+        key = tuple(sorted(effective.items()))
+        entry = self._price_levels.get(key)
+        if entry is None:
+            if len(self._price_levels) >= self._MAX_PRICE_LEVELS:
+                self._price_levels.clear()
+            catalog = self._repriced_catalog(effective)
+            entry = (catalog, ReservationPriceCalculator(catalog), TNRPCaches())
+            self._price_levels[key] = entry
+        self.catalog, self.rp_calculator = entry[0], entry[1]
+
+    def _repriced_catalog(self, effective: dict[str, float]) -> list[InstanceType]:
+        """Stock catalog at live prices, minus families bid-ceilinged out."""
+        ceiling = self.market_config.bid_ceiling
+        overpriced = {
+            family
+            for family, mult in effective.items()
+            if mult > ceiling and self._family_droppable(family)
+        }
+        return [
+            replace(
+                itype,
+                hourly_cost=itype.hourly_cost
+                * effective.get(itype.family, 1.0),
+            )
+            for itype in self._stock_catalog
+            if itype.family not in overpriced
+        ]
+
+    def _family_droppable(self, family: str) -> bool:
+        """True when another family's biggest type covers this family's.
+
+        The conservative feasibility guard behind the bid ceiling: a
+        task that fit the dropped family's largest type also fits the
+        covering family's (demands across interchangeable CPU families
+        match; a sole GPU family has no cover and never drops).
+        """
+        mine = [it.capacity for it in self._stock_catalog if it.family == family]
+        if not mine:
+            return False
+        need = (
+            max(c.gpus for c in mine),
+            max(c.cpus for c in mine),
+            max(c.ram_gb for c in mine),
+        )
+        for other in {it.family for it in self._stock_catalog} - {family}:
+            caps = [
+                it.capacity for it in self._stock_catalog if it.family == other
+            ]
+            have = (
+                max(c.gpus for c in caps),
+                max(c.cpus for c in caps),
+                max(c.ram_gb for c in caps),
+            )
+            if all(h >= n for h, n in zip(have, need)):
+                return True
+        return False
+
+    def make_evaluator(self, snapshot: ClusterSnapshot) -> AssignmentEvaluator:
+        if self.rp_calculator is self._stock_calculator:
+            # At-par market: the stock evaluator with the shared
+            # cross-round caches — the exact EvaScheduler path.
+            return super().make_evaluator(snapshot)
+        if not self.config.interference_aware:
+            return RPEvaluator(self.rp_calculator)
+        return TNRPEvaluator(
+            calculator=self.rp_calculator,
+            table=self.monitor.table,
+            jobs=snapshot.jobs,
+            multi_task_aware=self.config.multi_task_aware,
+            caches=self._price_levels[tuple(sorted(self._effective.items()))][2],
+        )
+
+    def _round_key_extra(self) -> tuple:
+        # Prices partition the memo through the evaluator's catalog
+        # token already, but the spot/on-demand flag and any pending
+        # penalties do not reach the evaluator — key them explicitly.
+        return (tuple(sorted(self._effective.items())), self.use_spot)

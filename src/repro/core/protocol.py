@@ -68,6 +68,8 @@ __all__ = [
     "LaunchInstance",
     "MigrateTask",
     "Observation",
+    "PoolExhausted",
+    "PriceChanged",
     "ProtocolError",
     "SpotEvictionNotice",
     "StragglerReport",
@@ -266,6 +268,37 @@ class StragglerReport:
 
 
 @dataclass(frozen=True, slots=True)
+class PriceChanged:
+    """A market pool's spot price moved to a new level.
+
+    ``multiplier`` scales the catalog on-demand rates of every family in
+    ``families`` (the pool's catalog slice); ``previous`` is the level it
+    replaced.  Emitted once per effective change — segments whose
+    quantized price matches the current level are silent.
+    """
+
+    pool: str
+    time_s: float
+    multiplier: float
+    previous: float
+    families: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolExhausted:
+    """A launch landed beyond its market pool's capacity.
+
+    The launch still succeeds — the provider waitlists it with an extra
+    provisioning delay — but the pool is running hot; policies should
+    treat ``families`` as scarce until launches stop tripping this.
+    """
+
+    pool: str
+    time_s: float
+    families: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class ThroughputReport:
     """One job's per-round throughput report (§5), as an observation."""
 
@@ -279,6 +312,8 @@ Observation = Union[
     DeadlineApproaching,
     InstanceFailed,
     StragglerReport,
+    PriceChanged,
+    PoolExhausted,
     ThroughputReport,
 ]
 

@@ -29,6 +29,7 @@ from repro.experiments import (
     fig08_arrival_rate,
     reliability,
     spot_eviction,
+    spot_market,
     table01_delays,
     table04_microbench,
     table05_runtime,
@@ -58,6 +59,7 @@ __all__ = [
     "fig08_arrival_rate",
     "reliability",
     "spot_eviction",
+    "spot_market",
     "table01_delays",
     "table04_microbench",
     "table05_runtime",

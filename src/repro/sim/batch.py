@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.results import ResultStore
 
 from repro.cloud.delays import DelayModel
+from repro.cloud.market import MarketConfig
 from repro.cluster.instance import InstanceType
 from repro.interference.model import InterferenceModel
 from repro.sim.metrics import SimulationResult
@@ -291,6 +292,12 @@ class Scenario:
             keeps the fault-free engine path byte-identical; any value
             flows into the fingerprint (it is a frozen dataclass of
             plain scalars, so canonical-JSON coverage is automatic).
+        market: Optional spot-market economics
+            (:class:`~repro.cloud.market.MarketConfig`): per-pool price
+            traces, finite capacity, burstable credits.  ``None`` keeps
+            the market-free engine path byte-identical; fingerprint
+            coverage is automatic (frozen dataclasses of plain
+            scalars/tuples all the way down).
     """
 
     scheduler: str
@@ -305,6 +312,7 @@ class Scenario:
     seed: int = 0
     deadline_warning_s: float | None = None
     failures: FailureConfig | None = None
+    market: MarketConfig | None = None
 
     def __post_init__(self) -> None:
         if self.catalog is not None and not isinstance(self.catalog, tuple):
@@ -379,6 +387,7 @@ def _execute_scenario(scenario: Scenario) -> ScenarioOutcome:
         spot=scenario.spot,
         deadline_warning_s=scenario.deadline_warning_s,
         failures=scenario.failures,
+        market=scenario.market,
     )
     return ScenarioOutcome(
         scenario=original, result=result, elapsed_s=time.perf_counter() - start
@@ -479,8 +488,9 @@ def reseed(scenario: Scenario, seed: int) -> Scenario:
     Overrides every seed the scenario carries: ``Scenario.seed``, an
     explicit ``seed`` kwarg inside a :class:`TraceSpec` (so specs that
     pinned their seed still vary across trials), the spot market's
-    ``SpotConfig.seed``, and the fault injector's
-    ``FailureConfig.seed``.  Inline :class:`Trace` objects are already
+    ``SpotConfig.seed``, the fault injector's ``FailureConfig.seed``,
+    and the spot market's ``MarketConfig.seed`` (the per-pool price
+    streams derive from it).  Inline :class:`Trace` objects are already
     built and cannot be re-seeded — express multi-seed sweeps as
     :class:`TraceSpec` scenarios so each trial regenerates its trace.
     """
@@ -498,8 +508,16 @@ def reseed(scenario: Scenario, seed: int) -> Scenario:
     failures = scenario.failures
     if failures is not None:
         failures = replace(failures, seed=seed)
+    market = scenario.market
+    if market is not None:
+        market = replace(market, seed=seed)
     return replace(
-        scenario, seed=seed, trace=trace, spot=spot, failures=failures
+        scenario,
+        seed=seed,
+        trace=trace,
+        spot=spot,
+        failures=failures,
+        market=market,
     )
 
 

@@ -46,7 +46,17 @@ class EventKind(IntEnum):
     #: The straggler fault ends and the instance recovers full speed
     #: (payload: instance_id).
     SLOWDOWN_END = 8
-    SCHEDULING_ROUND = 9
+    #: A market pool's price segment boundary (payload: pool index).
+    #: Self-scheduling like the domain-shock stream; sorts before the
+    #: round so a same-timestamp round already observes the new price,
+    #: and after terminations so a closing instance is billed at the
+    #: rate that was live while it ran.
+    PRICE_CHANGE = 9
+    #: A burstable instance exhausted its CPU credits and drops to its
+    #: baseline throughput (payload: instance_id).  Deterministic from
+    #: the launch timestamp (see :class:`repro.cloud.market.CreditModel`).
+    CREDIT_EXHAUSTED = 10
+    SCHEDULING_ROUND = 11
 
 
 @dataclass(frozen=True, slots=True)

@@ -228,6 +228,13 @@ class SimulationResult:
     repair_outcomes: tuple[RepairOutcome, ...] = ()
     task_restarts: int = 0
     work_lost_h: float = 0.0
+    #: Spot-market accounting (all zero — and omitted from the pickle —
+    #: without an active :class:`~repro.cloud.market.MarketConfig`):
+    #: effective pool price moves, over-capacity launches, and burstable
+    #: credit exhaustions observed during the run.
+    price_changes: int = 0
+    pool_exhaustions: int = 0
+    credit_exhaustions: int = 0
 
     # ------------------------------------------------------------------
     # Byte-identity of legacy results across the field additions
@@ -248,9 +255,16 @@ class SimulationResult:
         "task_restarts": 0,
         "work_lost_h": 0.0,
     }
+    #: Same contract for the spot-market fields.
+    _MARKET_FIELD_DEFAULTS = {
+        "price_changes": 0,
+        "pool_exhaustions": 0,
+        "credit_exhaustions": 0,
+    }
     _OMITTED_FIELD_DEFAULTS = {
         **_DEADLINE_FIELD_DEFAULTS,
         **_FAILURE_FIELD_DEFAULTS,
+        **_MARKET_FIELD_DEFAULTS,
     }
 
     def __getstate__(self) -> dict:

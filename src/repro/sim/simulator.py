@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cloud.delays import DelayModel
+from repro.cloud.market import MarketConfig, MarketRuntime
 from repro.cloud.provider import SimulatedCloud
 from repro.cluster.state import ClusterSnapshot, InstanceState
 from repro.cluster.task import Job, Task
@@ -38,6 +39,8 @@ from repro.core.protocol import (
     LaunchInstance,
     MigrateTask,
     Observation,
+    PoolExhausted,
+    PriceChanged,
     SpotEvictionNotice,
     StragglerReport,
     TerminateInstance,
@@ -312,6 +315,13 @@ class _InstanceRT:
     failure_domain: int = 0
     #: Straggler multiplier on effective throughput; 1.0 when healthy.
     slowdown: float = 1.0
+    #: Burstable-credit multiplier; 1.0 until the instance exhausts its
+    #: CPU credits (kept separate from ``slowdown`` so a straggler fault
+    #: and credit exhaustion compose instead of clobbering each other).
+    credit_mult: float = 1.0
+    #: Whether the instance was launched on the spot market (price-change
+    #: re-rating must keep the spot discount in the new rate).
+    spot: bool = False
     #: Per-run launch ordinal (0 = the run's first launch).  Result
     #: records use this instead of ``instance_id``: ids come from a
     #: process-global counter, so embedding one would break run-to-run
@@ -358,21 +368,57 @@ class _SimEnvironment(ClusterEnvironment):
     def launch_instance(self, action: LaunchInstance) -> None:
         sim = self._sim
         instance = action.instance
+        # Schedulers may opt out of the spot market per round by setting
+        # a ``use_spot = False`` attribute (the eva-market on-demand
+        # fallback during eviction storms): the launch then bills at the
+        # full on-demand rate and draws no preemption lifetime.  Absent
+        # the attribute this is exactly ``sim.spot.enabled``.
+        spot_launch = sim.spot.enabled and bool(
+            getattr(sim.scheduler, "use_spot", True)
+        )
         receipt = sim.cloud.launch(
             instance.instance_type,
             sim.now_s,
             instance=instance,
-            spot=sim.spot.enabled,
+            spot=spot_launch,
         )
         rt = _InstanceRT(
             instance_state_instance=instance,
             ready_time_s=receipt.ready_time_s,
             launch_index=sim._launch_seq,
+            spot=spot_launch,
         )
         sim._launch_seq += 1
         sim._instances[instance.instance_id] = rt
         sim._placement_epoch += 1
         sim._acct.instance_up(instance.instance_type)
+        if sim._market_rt is not None:
+            if receipt.pool_exhausted:
+                sim._pool_exhaustions += 1
+                index = sim._market_rt.pool_index_for_family(
+                    instance.instance_type.family
+                )
+                sim._pending_obs.append(
+                    PoolExhausted(
+                        pool=receipt.pool,
+                        time_s=sim.now_s,
+                        families=sim._market_rt.pool(index).families,
+                    )
+                )
+            credits = sim.market.credits
+            if (
+                sim._credit_enabled
+                and instance.instance_type.family in credits.families
+            ):
+                # Exhaustion is deterministic from the launch timestamp
+                # (fixed net burn while billed; see CreditModel).
+                sim.queue.push(
+                    Event(
+                        sim.now_s + credits.exhaustion_horizon_s,
+                        EventKind.CREDIT_EXHAUSTED,
+                        instance.instance_id,
+                    )
+                )
         if sim._fail_enabled:
             fail = sim.failures
             rt.failure_domain = sim._next_domain
@@ -408,11 +454,25 @@ class _SimEnvironment(ClusterEnvironment):
                         (instance.instance_id, factor),
                     )
                 )
-        if sim.spot.enabled:
-            lifetime_s = float(
-                sim._spot_rng.exponential(
-                    3600.0 / sim.spot.preemption_rate_per_hour
+        if spot_launch:
+            rate_per_hour = sim.spot.preemption_rate_per_hour
+            if (
+                sim._market_rt is not None
+                and sim.market.eviction_coupling != 0.0
+            ):
+                # Price pressure at launch scales the eviction hazard:
+                # hot markets reclaim discounted capacity faster.  The
+                # guard keeps the legacy draw arithmetic untouched when
+                # no market (or no coupling) is configured.
+                mult = sim._market_rt.multiplier_at(
+                    instance.instance_type, sim.now_s
                 )
+                if mult != 1.0:
+                    rate_per_hour = rate_per_hour * (
+                        mult**sim.market.eviction_coupling
+                    )
+            lifetime_s = float(
+                sim._spot_rng.exponential(3600.0 / rate_per_hour)
             )
             preempt_at = sim.now_s + lifetime_s
             sim.queue.push(
@@ -565,6 +625,12 @@ class ClusterSimulator:
             shocks, stragglers; see :class:`FailureConfig`).  ``None``
             or a disabled config reproduces the fault-free simulator
             byte-identically.
+        market: Optional spot-market economics (per-pool price traces,
+            finite capacity, burstable credits; see
+            :class:`~repro.cloud.market.MarketConfig`).  ``None``, a
+            disabled config, or a single static-price pool at
+            multiplier 1 reproduces the market-free simulator
+            byte-identically.
     """
 
     def __init__(
@@ -579,6 +645,7 @@ class ClusterSimulator:
         spot: SpotConfig | None = None,
         deadline_warning_s: float | None = None,
         failures: FailureConfig | None = None,
+        market: MarketConfig | None = None,
     ):
         if period_s <= 0:
             raise ValueError("period_s must be positive")
@@ -615,7 +682,21 @@ class ClusterSimulator:
         self._failure_outcomes: list[FailureOutcome] = []
         self._repair_outcomes: list[RepairOutcome] = []
 
-        self.cloud = SimulatedCloud(delay_model=self.delay_model)
+        self.market = market or MarketConfig()
+        #: Runtime market state (prices, capacity, membership); None on
+        #: the no-market path, which then performs no price arithmetic.
+        self._market_rt = (
+            MarketRuntime(self.market) if self.market.active else None
+        )
+        credits = self.market.credits if self._market_rt is not None else None
+        self._credit_enabled = credits is not None and bool(credits.families)
+        self._price_changes = 0
+        self._pool_exhaustions = 0
+        self._credit_exhaustions = 0
+
+        self.cloud = SimulatedCloud(
+            delay_model=self.delay_model, market=self._market_rt
+        )
         self.queue = EventQueue()
         self.now_s = 0.0
 
@@ -688,6 +769,14 @@ class ClusterSimulator:
         )
         if self._fail_enabled and self.failures.domain_shock_rate_per_hour > 0:
             self._schedule_next_shock()
+        if self._market_rt is not None:
+            # One self-scheduling PRICE_CHANGE stream per non-static
+            # pool; a static pool (or an all-static market) arms nothing
+            # and the event loop is untouched.
+            for index, boundary in self._market_rt.initial_boundaries():
+                self.queue.push(
+                    Event(boundary, EventKind.PRICE_CHANGE, index)
+                )
         total_jobs = len(self.trace)
 
         while self.queue:
@@ -737,6 +826,11 @@ class ClusterSimulator:
             repair_outcomes=tuple(self._repair_outcomes),
             task_restarts=self._acct.task_restarts,
             work_lost_h=self._acct.work_lost_h,
+            # Spot-market totals; all zero (and omitted from the pickle)
+            # without an active market.
+            price_changes=self._price_changes,
+            pool_exhaustions=self._pool_exhaustions,
+            credit_exhaustions=self._credit_exhaustions,
         )
 
     # ------------------------------------------------------------------
@@ -767,6 +861,10 @@ class ClusterSimulator:
             self._on_slowdown_start(instance_id, factor)
         elif event.kind == EventKind.SLOWDOWN_END:
             self._on_slowdown_end(event.payload)
+        elif event.kind == EventKind.PRICE_CHANGE:
+            self._on_price_change(event.payload)
+        elif event.kind == EventKind.CREDIT_EXHAUSTED:
+            self._on_credit_exhausted(event.payload)
         elif event.kind == EventKind.SCHEDULING_ROUND:
             self._on_round()
         else:  # pragma: no cover - defensive
@@ -1251,6 +1349,70 @@ class ClusterSimulator:
         self._refresh_rates(affected)
         self._ensure_round_scheduled()
 
+    def _on_price_change(self, pool_index: int) -> None:
+        """A pool's price segment boundary: refresh, re-rate, re-arm.
+
+        Consumes no RNG (the walk's draws are a pure function of the
+        segment index), so price events never perturb the spot/failure
+        streams.  Live instances in the pool are re-rated in sorted-id
+        order through the O(1) billing-record split; a boundary whose
+        quantized price matches the current level is silent (no
+        observation, no re-rate, no round).
+        """
+        rt = self._market_rt
+        old, new = rt.refresh(pool_index, self.now_s)
+        boundary = rt.next_boundary_after(pool_index, self.now_s)
+        if boundary is not None:
+            self.queue.push(Event(boundary, EventKind.PRICE_CHANGE, pool_index))
+        if new == old:
+            return
+        self._price_changes += 1
+        pool = rt.pool(pool_index)
+        for iid in rt.members_of(pool_index):
+            inst = self._instances[iid]
+            itype = inst.instance.instance_type
+            discount = self.cloud.spot_discount if inst.spot else 1.0
+            self.cloud.ledger.change_rate(
+                iid, self.now_s, itype.hourly_cost * discount * new
+            )
+        self._pending_obs.append(
+            PriceChanged(
+                pool=pool.name,
+                time_s=self.now_s,
+                multiplier=new,
+                previous=old,
+                families=pool.families,
+            )
+        )
+        self._ensure_round_scheduled()
+
+    def _on_credit_exhausted(self, instance_id: str) -> None:
+        """A burstable instance runs out of CPU credits.
+
+        Effective throughput drops to the credit model's baseline for
+        the rest of the instance's life; schedulers learn of the
+        degraded capacity through the existing ``StragglerReport``
+        channel (same semantics: slow, not down), so drain policies
+        like eva-failure's apply unchanged.
+        """
+        rt = self._instances.get(instance_id)
+        if rt is None or not rt.alive or rt.credit_mult != 1.0:
+            return  # stale draw: the instance died first, or already burnt
+        affected = self._jobs_sharing_instance(instance_id)
+        self._advance_all(affected)
+        rt.credit_mult = self.market.credits.baseline_fraction
+        self._placement_epoch += 1
+        self._credit_exhaustions += 1
+        self._pending_obs.append(
+            StragglerReport(
+                instance_id=instance_id,
+                time_s=self.now_s,
+                slowdown=rt.credit_mult,
+            )
+        )
+        self._refresh_rates(affected)
+        self._ensure_round_scheduled()
+
     def _on_instance_terminate(self, instance_id: str) -> None:
         when = self._terminate_holds.pop(instance_id, None)
         if when is None:
@@ -1302,6 +1464,7 @@ class ClusterSimulator:
     def _job_rate(self, job_rt: _JobRT) -> float:
         rate = 1.0
         fail_enabled = self._fail_enabled
+        credit_enabled = self._credit_enabled
         for task in job_rt.job.tasks:
             task_rt = self._tasks[task.task_id]
             if task_rt.status is not TaskStatus.RUNNING:
@@ -1313,6 +1476,10 @@ class ClusterSimulator:
                 inst = self._instances.get(task_rt.instance_id)
                 if inst is not None and inst.slowdown != 1.0:
                     tput *= inst.slowdown
+            if credit_enabled:
+                inst = self._instances.get(task_rt.instance_id)
+                if inst is not None and inst.credit_mult != 1.0:
+                    tput *= inst.credit_mult
             rate = min(rate, tput)
         if self._ckpt_rate_mult != 1.0:
             rate *= self._ckpt_rate_mult
@@ -1396,6 +1563,7 @@ def run_simulation(
     spot: SpotConfig | None = None,
     deadline_warning_s: float | None = None,
     failures: FailureConfig | None = None,
+    market: MarketConfig | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``scheduler``."""
     sim = ClusterSimulator(
@@ -1408,5 +1576,6 @@ def run_simulation(
         spot=spot,
         deadline_warning_s=deadline_warning_s,
         failures=failures,
+        market=market,
     )
     return sim.run()

@@ -33,6 +33,7 @@ ALL_IDS = {
     "reliability",
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
+    "spot-market",
     "table01", "table04", "table05", "table06", "table07",
     "table08", "table09", "table10", "table11", "table12",
     "table13", "table14",
@@ -43,6 +44,7 @@ GRID_IDS = {
     "reliability",
     "fig04", "fig05", "fig06", "fig07", "fig08",
     "spot-eviction",
+    "spot-market",
     "table06", "table10", "table11", "table13", "table14",
 }
 

@@ -32,6 +32,7 @@ import pytest
 
 from repro.cloud.catalog import ec2_catalog
 from repro.core import make_scheduler
+from repro.cloud.market import CreditModel, MarketConfig, MarketPool
 from repro.sim.simulator import (
     FailureConfig,
     RetryPolicy,
@@ -55,6 +56,10 @@ GOLDEN_DEADLINE_PATH = (
 #: Failure-injection cells, same per-file isolation rationale.
 GOLDEN_FAILURE_PATH = (
     Path(__file__).parent / "data" / "golden_digests_failure.json"
+)
+#: Spot-market cells, same per-file isolation rationale.
+GOLDEN_MARKET_PATH = (
+    Path(__file__).parent / "data" / "golden_digests_market.json"
 )
 
 #: Pinned so the digest does not move when a newer interpreter bumps
@@ -294,3 +299,120 @@ def test_failure_results_match_golden_digests():
         for cell_id, scheduler, kwargs in cells
     }
     _check_against_golden(actual, GOLDEN_FAILURE_PATH)
+
+
+def _market_matrix() -> list[tuple[str, str, dict]]:
+    """The spot-market cells: price regimes × bidding policies.
+
+    Pins the whole new surface: the seeded price walks and their
+    mid-life billing splits, the ``PriceChanged``/``PoolExhausted``
+    emission, the price-coupled eviction draw under legacy spot, finite
+    pool capacity with backlog delays, burstable credits, and the
+    ``eva-market`` repricing/bid-ceiling/fallback policy.
+    """
+    cells: list[tuple[str, str, dict]] = []
+    msyn = synthetic_trace(
+        16,
+        seed=11,
+        mean_interarrival_s=600.0,
+        duration_range_hours=(0.2, 1.0),
+        name="golden-msyn16",
+    )
+    volatile = MarketConfig(
+        enabled=True,
+        seed=11,
+        pools=(
+            MarketPool(
+                name="cpu-c", families=("c7i",), volatility=0.3, step_s=1800.0
+            ),
+            MarketPool(
+                name="cpu-r", families=("r7i",), volatility=0.3, step_s=1800.0
+            ),
+        ),
+    )
+    # Volatile two-pool market under the three bidding postures.
+    for scheduler in ("eva", "eva-market", "no-packing"):
+        cells.append(
+            (
+                f"msyn16-volatile-{scheduler}",
+                scheduler,
+                {"trace": msyn, "market": volatile},
+            )
+        )
+    # Legacy spot with the price-coupled eviction draw and notices the
+    # storm detector can see.
+    coupled = MarketConfig(
+        enabled=True,
+        seed=12,
+        eviction_coupling=2.0,
+        pools=volatile.pools,
+    )
+    spot = SpotConfig(
+        enabled=True, preemption_rate_per_hour=0.2, seed=11, notice_s=300.0
+    )
+    cells.append(
+        (
+            "msyn16-coupled-eva-market",
+            "eva-market",
+            {"trace": msyn, "market": coupled, "spot": spot},
+        )
+    )
+    # Finite capacity: backlog delays + PoolExhausted emission.
+    tight = MarketConfig(
+        enabled=True,
+        seed=13,
+        pools=(
+            MarketPool(
+                name="tiny",
+                families=("c7i", "r7i"),
+                capacity=2,
+                backlog_delay_s=600.0,
+            ),
+        ),
+    )
+    for scheduler in ("eva", "eva-market"):
+        cells.append(
+            (
+                f"msyn16-tight-{scheduler}",
+                scheduler,
+                {"trace": msyn, "market": tight},
+            )
+        )
+    # Burstable credits: deterministic exhaustion, degraded throughput.
+    burst = MarketConfig(
+        enabled=True,
+        seed=14,
+        pools=(MarketPool(name="burst", families=("c7i", "r7i")),),
+        credits=CreditModel(
+            families=("c7i", "r7i"), initial_credit_s=1800.0
+        ),
+    )
+    cells.append(
+        ("msyn16-burst-eva", "eva", {"trace": msyn, "market": burst})
+    )
+    # Replayed price trace (the CSV-backed path, inlined).
+    replay = MarketConfig(
+        enabled=True,
+        seed=15,
+        pools=(
+            MarketPool(
+                name="replay",
+                families=("c7i",),
+                trace=((0.0, 1.0), (3600.0, 1.6), (10800.0, 0.7)),
+            ),
+        ),
+    )
+    cells.append(
+        ("msyn16-replay-eva-market", "eva-market", {"trace": msyn, "market": replay})
+    )
+    assert len(cells) == 8, f"market matrix drifted to {len(cells)} cells"
+    return cells
+
+
+def test_market_results_match_golden_digests():
+    cells = _market_matrix()
+    actual = {
+        cell_id: _digest(kwargs, scheduler)
+        for cell_id, scheduler, kwargs in cells
+    }
+    _check_against_golden(actual, GOLDEN_MARKET_PATH)

@@ -26,6 +26,7 @@ import pytest
 import pickle
 
 from repro.cloud.catalog import ec2_catalog
+from repro.cloud.market import CreditModel, MarketConfig, MarketPool
 from repro.cloud.provider import SimulatedCloud
 from repro.cluster.resources import RESOURCE_NAMES
 from repro.cluster.state import tasks_fit_on_type
@@ -532,6 +533,42 @@ def _fuzz_scenario(seed: int) -> Scenario:
         )
         if rng.random() < 0.4:
             scheduler = "eva-failure"
+    # Spot-market axis (drawn last so earlier axes replay unchanged for
+    # a given seed against the pre-market fuzz corpus).
+    market = None
+    if rng.random() < 0.4:
+        volatility = float(rng.choice([0.0, 0.15, 0.4]))
+        pools = (
+            MarketPool(
+                name="fuzz-c",
+                families=("c7i",),
+                volatility=volatility,
+                step_s=float(rng.choice([600.0, 1800.0])),
+                capacity=int(rng.choice([0, 3])),
+                min_multiplier=float(rng.choice([0.25, 0.5])),
+            ),
+            MarketPool(
+                name="fuzz-r",
+                families=("r7i",),
+                volatility=volatility,
+                step_s=1800.0,
+            ),
+        )
+        credits = None
+        if rng.random() < 0.3:
+            credits = CreditModel(
+                families=("c7i", "r7i"),
+                initial_credit_s=float(rng.choice([1800.0, 7200.0])),
+            )
+        market = MarketConfig(
+            enabled=True,
+            pools=pools,
+            seed=seed,
+            eviction_coupling=float(rng.choice([0.0, 1.0, 2.0])),
+            credits=credits,
+        )
+        if rng.random() < 0.4:
+            scheduler = "eva-market"
     return Scenario(
         scheduler=scheduler,
         trace=trace,
@@ -542,6 +579,7 @@ def _fuzz_scenario(seed: int) -> Scenario:
         seed=seed,
         deadline_warning_s=deadline_warning_s,
         failures=failures,
+        market=market,
     )
 
 
@@ -602,6 +640,10 @@ class TestFuzzedScenarioInvariants:
         floor = 1.0
         if scenario.spot is not None and scenario.spot.enabled:
             floor = SimulatedCloud().spot_discount
+        if scenario.market is not None and scenario.market.active:
+            # Pool prices are clamped at min_multiplier, so the billing
+            # floor scales by the deepest discount any pool can reach.
+            floor *= min(p.min_multiplier for p in scenario.market.pools)
         check_invariants(trace, outcome.result, price_floor_factor=floor)
 
     def test_fuzzed_scenarios_deterministic_serial_vs_parallel(self):
@@ -628,6 +670,7 @@ class TestFuzzedScenarioInvariants:
                 spot=scenario.spot,
                 deadline_warning_s=scenario.deadline_warning_s,
                 failures=scenario.failures,
+                market=scenario.market,
             )
             results.append(sim.run())
         assert pickle.dumps(results[0]) == pickle.dumps(results[1])
@@ -647,6 +690,7 @@ class TestFuzzedScenarioInvariants:
                 spot=scenario.spot,
                 deadline_warning_s=scenario.deadline_warning_s,
                 failures=scenario.failures,
+                market=scenario.market,
             )
             results.append(sim.run())
         assert pickle.dumps(results[0]) == pickle.dumps(results[1])
@@ -678,6 +722,20 @@ class TestFuzzedScenarioInvariants:
         assert any(f.domain_shock_rate_per_hour > 0 for f in with_faults)
         assert any(f.straggler_rate_per_hour > 0 for f in with_faults)
         assert len({f.retry.checkpoint_overhead for f in with_faults}) > 1
+        # Spot-market axis: both arms populated, volatile and finite
+        # pools drawn somewhere, the coupled eviction path exercised,
+        # and the market-aware policy in the scheduler mix.
+        with_market = [s.market for s in scenarios if s.market is not None]
+        assert with_market and any(s.market is None for s in scenarios)
+        assert "eva-market" in schedulers
+        assert any(
+            any(p.volatility > 0 for p in m.pools) for m in with_market
+        )
+        assert any(
+            any(p.capacity > 0 for p in m.pools) for m in with_market
+        )
+        assert any(m.eviction_coupling > 0 for m in with_market)
+        assert any(m.credits is not None for m in with_market)
 
 
 class TestPackKernelByteIdentity:
@@ -702,6 +760,7 @@ class TestPackKernelByteIdentity:
                 spot=scenario.spot,
                 deadline_warning_s=scenario.deadline_warning_s,
                 failures=scenario.failures,
+                market=scenario.market,
             )
             results.append(sim.run())
         assert pickle.dumps(results[0]) == pickle.dumps(results[1])
