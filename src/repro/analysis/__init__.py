@@ -1,4 +1,11 @@
-"""Reporting and comparison utilities for experiment outputs."""
+"""Reporting, comparison, and static-analysis utilities.
+
+Two families live here:
+
+* Experiment-output tooling: charts, scheduler comparisons, tables.
+* The determinism & invariant linter (``python -m repro.analysis``) —
+  see :mod:`repro.analysis.runner` and ``docs/static-analysis.md``.
+"""
 
 from repro.analysis.charts import line_chart, sweep_chart
 from repro.analysis.comparison import (
@@ -8,14 +15,19 @@ from repro.analysis.comparison import (
     standard_scheduler_factories,
     standard_scheduler_names,
 )
+from repro.analysis.findings import Finding
 from repro.analysis.reporting import (
     ExperimentTable,
     percent,
     render_cdf,
     render_table,
 )
+from repro.analysis.runner import AnalysisReport, run_analysis
 
 __all__ = [
+    "AnalysisReport",
+    "Finding",
+    "run_analysis",
     "line_chart",
     "sweep_chart",
     "STANDARD_SCHEDULERS",

@@ -1,0 +1,77 @@
+"""CLI for the determinism & invariant linter.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis [--format text|json]
+        [--baseline PATH] [--write-baseline] [--no-runtime-rules]
+
+Exit status is 0 iff there are no findings outside the baseline and
+every file parsed (the CI ``invariant-lint`` contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import save_baseline
+from repro.analysis.runner import (
+    default_baseline_path,
+    render_json,
+    render_text,
+    run_analysis,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & invariant linter for the Eva reproduction.",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON path (default: tests/data/analysis_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--no-runtime-rules",
+        action="store_true",
+        help="skip fingerprint-coverage / pickle-omission (AST rules only)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = args.baseline if args.baseline is not None else default_baseline_path()
+    report = run_analysis(
+        baseline_path=baseline,
+        runtime_rules=not args.no_runtime_rules,
+    )
+
+    if args.write_baseline:
+        save_baseline(baseline, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Determinism rules: unordered iteration and banned nondeterminism.
+
+These two rules statically enforce the byte-identity contract of the
+golden digest matrices (``tests/test_golden_digests.py``): the
+*result-affecting core* — :mod:`repro.core`, :mod:`repro.sim`,
+:mod:`repro.cloud`, :mod:`repro.cluster`, :mod:`repro.interference` —
+must produce identical :class:`~repro.sim.metrics.SimulationResult`
+bytes for identical scenarios, across processes and
+``PYTHONHASHSEED`` values.
+
+**unordered-iteration** (the PR 1 bug class): iterating a ``set`` /
+``frozenset`` / ``dict.keys()`` view in a ``for`` loop, a list/dict
+comprehension, or an order-sensitive consumer (``list``, ``tuple``,
+``max``, ``min``, ``sum``) makes tie-breaks and float-addition order
+depend on hash randomization.  Wrap the iterable in ``sorted()`` or
+feed it to an order-insensitive consumer (``set``, ``frozenset``,
+``any``, ``all``, ``len``, a set comprehension).
+
+**banned-call**: wall-clock time, module-level RNG, ``hash()``,
+``id()``, uuids and ``os.urandom`` inject process-local state into
+results.  ``time.perf_counter`` stays legal (it only feeds wall-clock
+*reporting* fields like ``ScenarioOutcome.elapsed_s``, never the
+simulation itself), as do explicitly seeded constructors
+(``np.random.default_rng(seed)``) and ``hash()`` inside a ``__hash__``
+definition delegating to a stable field.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import ModuleFacts
+
+__all__ = [
+    "RESULT_AFFECTING_PREFIXES",
+    "check_banned_calls",
+    "check_unordered_iteration",
+    "in_result_affecting_core",
+]
+
+#: Repo-relative path prefixes of the result-affecting core.
+RESULT_AFFECTING_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/sim/",
+    "src/repro/cloud/",
+    "src/repro/cluster/",
+    "src/repro/interference/",
+)
+
+
+def in_result_affecting_core(path: str) -> bool:
+    return path.startswith(RESULT_AFFECTING_PREFIXES)
+
+
+# ---------------------------------------------------------------------------
+# Rule: unordered-iteration
+# ---------------------------------------------------------------------------
+
+
+def check_unordered_iteration(facts: ModuleFacts) -> list[Finding]:
+    """Flag order-sensitive iteration over statically set-typed values."""
+    if not in_result_affecting_core(facts.source.path):
+        return []
+    findings: list[Finding] = []
+    for event in facts.iterations:
+        if not event.set_typed:
+            continue
+        findings.append(
+            Finding(
+                rule="unordered-iteration",
+                path=facts.source.path,
+                line=event.line,
+                message=(
+                    f"{event.context} iterates a set-typed value "
+                    f"({event.evidence}); iteration order follows hash "
+                    "randomization — wrap in sorted() or use an "
+                    "order-insensitive consumer"
+                ),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: banned-call
+# ---------------------------------------------------------------------------
+
+#: Exact dotted names that are always nondeterministic.
+_BANNED_EXACT = {
+    "time.time": "wall-clock time is process-local",
+    "time.time_ns": "wall-clock time is process-local",
+    "datetime.datetime.now": "wall-clock time is process-local",
+    "datetime.datetime.utcnow": "wall-clock time is process-local",
+    "os.urandom": "OS entropy is unseedable",
+    "secrets.token_hex": "OS entropy is unseedable",
+    "secrets.token_bytes": "OS entropy is unseedable",
+    "id": "CPython object addresses vary per process",
+}
+
+#: Dotted-name prefixes banned wholesale (module-level / global RNG and
+#: uuids), with per-prefix carve-outs for seeded constructors.
+_BANNED_PREFIXES: tuple[tuple[str, frozenset[str], str], ...] = (
+    (
+        "random.",
+        frozenset({"Random"}),
+        "the random module's global RNG is process-local state",
+    ),
+    ("uuid.", frozenset(), "uuids embed clock/entropy"),
+    (
+        "np.random.",
+        frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"}),
+        "numpy's legacy global RNG is process-local state",
+    ),
+    (
+        "numpy.random.",
+        frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"}),
+        "numpy's legacy global RNG is process-local state",
+    ),
+)
+
+
+def check_banned_calls(facts: ModuleFacts) -> list[Finding]:
+    """Flag calls whose results differ across processes or runs."""
+    if not in_result_affecting_core(facts.source.path):
+        return []
+    findings: list[Finding] = []
+    for call in facts.calls:
+        reason = _ban_reason(call.name, call.enclosing)
+        if reason is None:
+            continue
+        findings.append(
+            Finding(
+                rule="banned-call",
+                path=facts.source.path,
+                line=call.line,
+                message=(
+                    f"call to {call.name}() in the result-affecting core: "
+                    f"{reason}; results must depend only on scenario "
+                    "fields and seeds"
+                ),
+            )
+        )
+    return findings
+
+
+def _ban_reason(name: str, enclosing: str) -> str | None:
+    if name == "hash":
+        if enclosing == "__hash__":
+            # Delegating __hash__ to a stable field is the standard
+            # idiom; only *consuming* hash() for keys/ordering is banned.
+            return None
+        return "hash() is randomized by PYTHONHASHSEED"
+    exact = _BANNED_EXACT.get(name)
+    if exact is not None:
+        return exact
+    for prefix, allowed, reason in _BANNED_PREFIXES:
+        if name.startswith(prefix):
+            suffix = name[len(prefix) :]
+            if suffix.split(".", maxsplit=1)[0] in allowed:
+                return None
+            return reason
+    return None

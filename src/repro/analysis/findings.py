@@ -1,0 +1,253 @@
+"""Findings, suppressions, and the checked-in baseline for the linter.
+
+The determinism & invariant linter (``python -m repro.analysis``) reports
+:class:`Finding` records.  Three mechanisms keep the gate workable while
+the invariant it enforces stays sharp:
+
+* **Suppressions** — a finding can be silenced at its source line with
+  an ``# eva: allow[rule-name] -- reason`` comment (same line, or a
+  standalone comment on the line directly above).  The reason string is
+  mandatory: a suppression without one is itself reported
+  (``suppression-syntax``), as is a suppression that no finding ever
+  matched (``unused-suppression``) — stale escapes rot into blind spots.
+* **Baseline** — a checked-in JSON file of grandfathered findings
+  (``tests/data/analysis_baseline.json``; empty is the goal and the
+  current state).  The gate fails only on findings *not* in the
+  baseline, so adopting a new rule never blocks unrelated work.
+* **Stable identity** — baseline matching keys on
+  ``(rule, path, message)``, never on line numbers, so unrelated edits
+  that shift lines do not resurrect grandfathered findings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "SuppressionIndex",
+    "baseline_delta",
+    "load_baseline",
+    "save_baseline",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative (or fixture-relative in tests) with POSIX
+    separators so baselines are portable across checkouts.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+#: Matches ``eva: allow[rule-name] -- reason`` comments (reason mandatory).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*eva:\s*allow\[(?P<rule>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+#: Anything that looks like an attempted suppression, well-formed or not.
+_SUPPRESSION_HINT_RE = re.compile(r"#\s*eva:\s*allow")
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``# eva: allow[rule] -- reason`` comment."""
+
+    rule: str
+    reason: str
+    line: int
+    used: bool = field(default=False)
+
+    def matches(self, finding: Finding) -> bool:
+        return self.rule == finding.rule
+
+
+class SuppressionIndex:
+    """Per-file suppression comments, plus their own syntax findings.
+
+    A suppression covers findings on its own physical line and — when the
+    comment stands alone — on the line directly below, so long
+    expressions can carry the escape on the preceding line.
+    """
+
+    def __init__(
+        self,
+        suppressions: list[Suppression],
+        errors: list[Finding],
+        standalone: set[int] | None = None,
+    ):
+        self._by_line: dict[int, list[Suppression]] = {}
+        self._standalone: set[int] = standalone or set()
+        self.errors = errors
+        self.all: list[Suppression] = suppressions
+        for sup in suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+
+    @classmethod
+    def scan(cls, source: str, path: str) -> "SuppressionIndex":
+        """Extract suppression comments via the tokenizer (never regexes
+        over string literals)."""
+        suppressions: list[Suppression] = []
+        errors: list[Finding] = []
+        standalone: set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls([], [])
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            comment = tok.string
+            if not _SUPPRESSION_HINT_RE.search(comment):
+                continue
+            line = tok.start[0]
+            match = _SUPPRESSION_RE.search(comment)
+            if match is None or not match.group("rule"):
+                errors.append(
+                    Finding(
+                        rule="suppression-syntax",
+                        path=path,
+                        line=line,
+                        message=(
+                            "malformed suppression comment; expected "
+                            "'# eva: allow[rule-name] -- reason'"
+                        ),
+                    )
+                )
+                continue
+            reason = match.group("reason")
+            if not reason:
+                errors.append(
+                    Finding(
+                        rule="suppression-syntax",
+                        path=path,
+                        line=line,
+                        message=(
+                            f"suppression for [{match.group('rule')}] has no "
+                            "reason; append ' -- <why this is safe>'"
+                        ),
+                    )
+                )
+                continue
+            if comment.strip() == tok.line.strip():
+                standalone.add(line)
+            suppressions.append(
+                Suppression(rule=match.group("rule"), reason=reason, line=line)
+            )
+        return cls(suppressions, errors, standalone)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Consume a matching suppression for ``finding``, if any."""
+        standalone = self._standalone
+        for line in (finding.line, finding.line - 1):
+            for sup in self._by_line.get(line, ()):
+                if line == finding.line - 1 and line not in standalone:
+                    continue  # trailing comments cover their own line only
+                if sup.matches(finding):
+                    sup.used = True
+                    return True
+        return False
+
+    def unused_findings(self, path: str) -> list[Finding]:
+        return [
+            Finding(
+                rule="unused-suppression",
+                path=path,
+                line=sup.line,
+                message=(
+                    f"suppression for [{sup.rule}] matched no finding; "
+                    "delete it (reason was: " + sup.reason + ")"
+                ),
+            )
+            for sup in self.all
+            if not sup.used
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path | None) -> list[Finding]:
+    """Load grandfathered findings; a missing file is an empty baseline."""
+    if path is None or not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    baseline: list[Finding] = []
+    for entry in entries:
+        baseline.append(
+            Finding(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                line=int(entry.get("line", 0)),
+                message=str(entry["message"]),
+            )
+        )
+    return baseline
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Empty is the goal: "
+            "fix the code instead of extending this file."
+        ),
+        "findings": [f.as_dict() for f in sorted(findings, key=lambda f: f.key)],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def baseline_delta(
+    findings: list[Finding], baseline: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split current findings against the baseline.
+
+    Returns ``(new, stale)``: findings not covered by the baseline, and
+    baseline entries no longer observed (candidates for deletion).
+    Matching is by line-independent :attr:`Finding.key`, as a multiset —
+    two identical findings need two baseline entries.
+    """
+    budget = Counter(entry.key for entry in baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+        else:
+            new.append(finding)
+    stale: list[Finding] = []
+    remaining = dict(budget)
+    for entry in baseline:
+        if remaining.get(entry.key, 0) > 0:
+            remaining[entry.key] -= 1
+            stale.append(entry)
+    return new, stale

@@ -1,0 +1,458 @@
+"""Shared single-pass AST visitor and the facts it extracts.
+
+Every AST-based rule in :mod:`repro.analysis` consumes the output of ONE
+walk over each source file — a :class:`ModuleFacts` record — instead of
+re-traversing the tree per rule.  The walk collects:
+
+* **Iteration events** — every spot whose behaviour depends on the
+  iteration order of its iterable (``for`` statements, comprehension
+  generators, order-sensitive consumer calls like ``max``/``min``/
+  ``list``/``tuple``/``sum``), together with whether the iterable is
+  *statically known to be set-typed* and whether the surrounding context
+  is order-insensitive (``sorted``/``set``/``frozenset``/``any``/``all``
+  consumers, set comprehensions).
+* **Call events** — every call with a resolvable dotted name, for the
+  banned-nondeterminism rule.
+* **Class facts** — every class definition with its base names, declared
+  ``action_types`` vocabulary, protocol-action constructions, and
+  attribute reads, for the vocabulary/purity rules.
+
+Set-typedness is deliberately syntactic (no type inference engine): set
+displays and comprehensions, ``set``/``frozenset`` calls, set-operator
+expressions, ``dict.keys()`` views, attributes/methods known to be
+set-valued in this codebase (``task_ids``, ``assigned_task_ids()``,
+``instance_ids()``), names assigned from any of those in the same
+function scope, and names narrowed by an enclosing
+``isinstance(x, (set, frozenset))`` guard.  False negatives are
+possible; false positives are rare by construction, and that is the
+right trade for a gate that must stay green.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import SuppressionIndex
+
+__all__ = [
+    "ATTR_SET_NAMES",
+    "CallEvent",
+    "ClassFacts",
+    "IterationEvent",
+    "METHOD_SET_NAMES",
+    "ModuleFacts",
+    "SourceFile",
+    "collect_facts",
+    "dotted_name",
+]
+
+#: Attributes that are set-typed wherever they appear in this codebase
+#: (``InstanceState.task_ids`` / ``TargetInstance.task_ids`` are
+#: ``frozenset[str]``).
+ATTR_SET_NAMES = frozenset({"task_ids"})
+
+#: Zero/low-arg methods whose return value is a set or set-like view.
+METHOD_SET_NAMES = frozenset(
+    {
+        "keys",
+        "assigned_task_ids",
+        "instance_ids",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+    }
+)
+
+#: Builtins whose call is set-typed when applied to anything.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Consumers whose result does not depend on the argument's iteration
+#: order (``sorted`` imposes one; ``set``/``frozenset`` discard it;
+#: ``any``/``all``/``len`` reduce order-insensitively).
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "set", "frozenset", "any", "all", "len"}
+)
+
+#: Consumers whose result (or observable effect) depends on iteration
+#: order: ``list``/``tuple`` preserve it, ``max``/``min`` break ties by
+#: encounter order, float ``sum`` is non-associative.
+ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "max", "min", "sum"})
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True, slots=True)
+class SourceFile:
+    """One parsed source file plus its suppression comments."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+
+    @classmethod
+    def from_text(cls, text: str, path: str) -> "SourceFile":
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text),
+            suppressions=SuppressionIndex.scan(text, path),
+        )
+
+    @classmethod
+    def load(cls, file_path: Path, display_path: str) -> "SourceFile":
+        return cls.from_text(file_path.read_text(encoding="utf-8"), display_path)
+
+
+@dataclass(frozen=True, slots=True)
+class IterationEvent:
+    """One order-sensitive iteration over some iterable expression."""
+
+    line: int
+    #: ``"for"``, ``"comprehension"``, ``"dict-comprehension"`` or the
+    #: consumer callable's name (``"max"``, ``"list"``, ...).
+    context: str
+    #: The iterable is statically known to be a set/frozenset/dict-view.
+    set_typed: bool
+    #: Human-readable description of why the iterable is set-typed.
+    evidence: str
+
+
+@dataclass(frozen=True, slots=True)
+class CallEvent:
+    """One call with a statically resolvable dotted callee name."""
+
+    line: int
+    name: str
+    #: Name of the innermost enclosing function ("" at module level) —
+    #: lets rules carve out idioms like ``hash()`` inside ``__hash__``.
+    enclosing: str
+
+
+@dataclass(slots=True)
+class ClassFacts:
+    """Facts about one class definition."""
+
+    name: str
+    line: int
+    base_names: tuple[str, ...]
+    #: Names inside a ``action_types = frozenset({...})`` declaration;
+    #: None when the class either declares no vocabulary or explicitly
+    #: declares ``action_types = None`` (unrestricted) — the two are
+    #: told apart by :attr:`declares_action_types`.
+    action_types: tuple[str, ...] | None
+    #: True when the class body assigns ``action_types`` at all.
+    declares_action_types: bool
+    #: Protocol action constructions inside the class body:
+    #: ``(line, action name)``.
+    action_constructions: list[tuple[int, str]] = field(default_factory=list)
+    #: Attribute reads inside the class body: ``(line, attr, root)``
+    #: where root is the base variable name ("snapshot", "self", ...) or
+    #: "" when the base is a non-trivial expression.
+    attribute_reads: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ModuleFacts:
+    """Everything the AST rules need, from one pass over one file."""
+
+    source: SourceFile
+    iterations: list[IterationEvent] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    classes: list[ClassFacts] = field(default_factory=list)
+
+
+#: The five protocol action type names (kept as plain strings so the
+#: visitor never imports the scheduler stack).
+ACTION_TYPE_NAMES = frozenset(
+    {"LaunchInstance", "TerminateInstance", "AssignTask", "UnassignTask", "MigrateTask"}
+)
+
+
+class _FactsVisitor(ast.NodeVisitor):
+    """The single shared pass (see module docstring)."""
+
+    def __init__(self, facts: ModuleFacts) -> None:
+        self.facts = facts
+        #: Stack of per-function sets of set-typed local names.
+        self._scopes: list[set[str]] = [set()]
+        #: Comprehension/call argument nodes already consumed by an
+        #: order-insensitive consumer; their generators are exempt.
+        self._insensitive_args: set[int] = set()
+        self._class_stack: list[ClassFacts] = []
+        self._func_names: list[str] = []
+
+    # -- set-typedness ---------------------------------------------------
+    def _is_set_typed(self, node: ast.expr) -> tuple[bool, str]:
+        if isinstance(node, ast.Set):
+            return True, "set display"
+        if isinstance(node, ast.SetComp):
+            return True, "set comprehension"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return True, f"{func.id}() call"
+            if isinstance(func, ast.Attribute) and func.attr in METHOD_SET_NAMES:
+                return True, f".{func.attr}() call"
+        if isinstance(node, ast.Attribute) and node.attr in ATTR_SET_NAMES:
+            return True, f".{node.attr} attribute"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            left, evidence = self._is_set_typed(node.left)
+            if left:
+                return True, f"set operator over {evidence}"
+            right, evidence = self._is_set_typed(node.right)
+            if right:
+                return True, f"set operator over {evidence}"
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return True, f"local {node.id!r} holds a set"
+        return False, ""
+
+    def _record_iteration(self, iterable: ast.expr, context: str) -> None:
+        set_typed, evidence = self._is_set_typed(iterable)
+        self.facts.iterations.append(
+            IterationEvent(
+                line=iterable.lineno,
+                context=context,
+                set_typed=set_typed,
+                evidence=evidence,
+            )
+        )
+
+    def _mark_set_name(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            set_typed, _ = self._is_set_typed(value)
+            if set_typed:
+                self._scopes[-1].add(target.id)
+            else:
+                self._scopes[-1].discard(target.id)
+
+    @staticmethod
+    def _isinstance_set_guard(test: ast.expr) -> str | None:
+        """The narrowed name for ``isinstance(x, (set, frozenset))``-style
+        tests, else None."""
+        if not (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Name)
+            and test.func.id == "isinstance"
+            and len(test.args) == 2
+            and isinstance(test.args[0], ast.Name)
+        ):
+            return None
+        kinds = test.args[1]
+        names: list[ast.expr] = (
+            list(kinds.elts) if isinstance(kinds, ast.Tuple) else [kinds]
+        )
+        for kind in names:
+            if isinstance(kind, ast.Name) and kind.id in _SET_CONSTRUCTORS:
+                return test.args[0].id
+        return None
+
+    # -- scope handling --------------------------------------------------
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._scopes.append(set())
+        self._func_names.append(node.name)
+        self.generic_visit(node)
+        self._func_names.pop()
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._mark_set_name(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._mark_set_name(node.target, node.value)
+
+    def visit_If(self, node: ast.If) -> None:
+        narrowed = self._isinstance_set_guard(node.test)
+        self.visit(node.test)
+        if narrowed is not None:
+            self._scopes[-1].add(narrowed)
+        for stmt in node.body:
+            self.visit(stmt)
+        if narrowed is not None:
+            self._scopes[-1].discard(narrowed)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    # -- iteration sites -------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._record_iteration(node.iter, "for")
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+    ) -> None:
+        order_insensitive = (
+            isinstance(node, ast.SetComp) or id(node) in self._insensitive_args
+        )
+        for index, gen in enumerate(node.generators):
+            # Nested generators reorder output even under an insensitive
+            # consumer only via the first generator's order; deeper
+            # generators matter too, so exempt all or none.
+            if not order_insensitive:
+                context = (
+                    "dict-comprehension"
+                    if isinstance(node, ast.DictComp)
+                    else "comprehension"
+                )
+                self._record_iteration(gen.iter, context)
+            # Comprehension targets live in their own scope; a set-typed
+            # iterable does not make the loop variable set-typed.
+            del index
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    # -- calls -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self.facts.calls.append(
+                CallEvent(
+                    line=node.lineno,
+                    name=name,
+                    enclosing=self._func_names[-1] if self._func_names else "",
+                )
+            )
+            base = name.rsplit(".", maxsplit=1)[-1]
+            if base in ORDER_INSENSITIVE_CONSUMERS and node.args:
+                self._insensitive_args.add(id(node.args[0]))
+            elif base in ORDER_SENSITIVE_CONSUMERS and node.args:
+                first = node.args[0]
+                if not isinstance(
+                    first,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    # Comprehension args are recorded by their own visit;
+                    # a bare set-typed argument is recorded here.
+                    set_typed, evidence = self._is_set_typed(first)
+                    if set_typed:
+                        self.facts.iterations.append(
+                            IterationEvent(
+                                line=node.lineno,
+                                context=base,
+                                set_typed=True,
+                                evidence=evidence,
+                            )
+                        )
+            if (
+                base in ACTION_TYPE_NAMES
+                and self._class_stack
+                and "." not in name
+            ):
+                self._class_stack[-1].action_constructions.append(
+                    (node.lineno, base)
+                )
+        self.generic_visit(node)
+
+    # -- classes ---------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        declared, declares = _declared_action_types(node)
+        facts = ClassFacts(
+            name=node.name,
+            line=node.lineno,
+            base_names=tuple(
+                name
+                for name in (dotted_name(base) for base in node.bases)
+                if name is not None
+            ),
+            action_types=declared,
+            declares_action_types=declares,
+        )
+        self.facts.classes.append(facts)
+        self._class_stack.append(facts)
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+        self._class_stack.pop()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._class_stack and isinstance(node.ctx, ast.Load):
+            root = node.value.id if isinstance(node.value, ast.Name) else ""
+            self._class_stack[-1].attribute_reads.append(
+                (node.lineno, node.attr, root)
+            )
+        self.generic_visit(node)
+
+
+def _declared_action_types(
+    node: ast.ClassDef,
+) -> tuple[tuple[str, ...] | None, bool]:
+    """``(names, declared)`` for a class-level ``action_types`` binding.
+
+    ``((...), True)`` for ``action_types = frozenset({...})``;
+    ``(None, True)`` for an explicit ``action_types = None``
+    (unrestricted); ``(None, False)`` when the class body never assigns
+    the attribute.
+    """
+    for stmt in node.body:
+        targets: list[ast.expr]
+        value: ast.expr | None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if value is None or not any(
+            isinstance(t, ast.Name) and t.id == "action_types" for t in targets
+        ):
+            continue
+        if isinstance(value, ast.Constant) and value.value is None:
+            return None, True
+        names: list[str] = []
+        for inner in ast.walk(value):
+            if isinstance(inner, ast.Name) and inner.id not in (
+                "frozenset",
+                "set",
+            ):
+                names.append(inner.id)
+        return tuple(names), True
+    return None, False
+
+
+def collect_facts(source: SourceFile) -> ModuleFacts:
+    """Run the shared pass over one file."""
+    facts = ModuleFacts(source=source)
+    _FactsVisitor(facts).visit(source.tree)
+    return facts

@@ -157,7 +157,7 @@ class TargetConfiguration:
         """Mapping task id → instance id."""
         mapping: dict[str, str] = {}
         for ti in self.instances:
-            for tid in ti.task_ids:
+            for tid in sorted(ti.task_ids):
                 if tid in mapping:
                     raise ValueError(f"task {tid} assigned to two instances")
                 mapping[tid] = ti.instance_id
@@ -175,7 +175,7 @@ class TargetConfiguration:
         seen: set[str] = set()
         for ti in self.instances:
             tasks = []
-            for tid in ti.task_ids:
+            for tid in sorted(ti.task_ids):
                 if tid not in snapshot.tasks:
                     raise ValueError(f"target assigns unknown task {tid}")
                 if tid in seen:
@@ -217,7 +217,7 @@ def diff_configuration(
     current_instances: set[str] = set()
     for state in snapshot.instances:
         current_instances.add(state.instance_id)
-        for tid in state.task_ids:
+        for tid in sorted(state.task_ids):
             current_assignment[tid] = state.instance_id
 
     target_assignment = target.assignment()

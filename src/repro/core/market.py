@@ -273,7 +273,7 @@ class MarketAwareEvaScheduler(EvaScheduler):
             max(c.cpus for c in mine),
             max(c.ram_gb for c in mine),
         )
-        for other in {it.family for it in self._stock_catalog} - {family}:
+        for other in sorted({it.family for it in self._stock_catalog} - {family}):
             caps = [
                 it.capacity for it in self._stock_catalog if it.family == other
             ]

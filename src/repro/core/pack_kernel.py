@@ -51,7 +51,7 @@ scalar scan.  NumPy itself is optional — without it the knob degrades to
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 try:  # pragma: no cover - numpy is part of the baked toolchain
     import numpy as np
@@ -67,7 +67,14 @@ from repro.core.evaluation import (
 )
 
 if TYPE_CHECKING:  # circular at runtime (full_reconfig imports us)
+    from numpy.typing import NDArray
+
+    from repro.cluster.resources import ResourceVector
     from repro.core.full_reconfig import _TaskPool
+
+    #: Float64 lane columns; ``NDArray`` only exists for the checker.
+    _FloatArray = NDArray[np.float64]
+    _BoolArray = NDArray[np.bool_]
 
 __all__ = ["PackArrays", "VectorScan", "kernel_name", "should_vectorize"]
 
@@ -142,9 +149,23 @@ class PackArrays:
         "lane_by_key",
     )
 
+    reps: list[Task]
+    task_ids: list[str]
+    keys: list[Any]
+    workloads: list[str]
+    gpus: "_FloatArray"
+    cpus: "_FloatArray"
+    ram: "_FloatArray"
+    rp: "_FloatArray"
+    job_rp: "_FloatArray | None"
+    multi: "_BoolArray | None"
+    urgency: "_FloatArray | None"
+    alive: "_BoolArray"
+    lane_by_key: dict[Any, int]
+
     def __init__(
         self, pool: "_TaskPool", evaluator: AssignmentEvaluator, family: str
-    ):
+    ) -> None:
         buckets = pool._buckets
         keys = list(pool._ordered_keys)
         reps = [buckets[key][-1] for key in keys]
@@ -204,7 +225,7 @@ class PackArrays:
             self.multi[lane] = rp_j is not None
             self.job_rp[lane] = 0.0 if rp_j is None else rp_j
 
-    def tnrp_of(self, tput):
+    def tnrp_of(self, tput: "_FloatArray") -> "_FloatArray":
         """Vectorized ``tnrp_from_tput`` over all lanes for per-lane
         throughputs ``tput`` — branch selection and operation order match
         the scalar method exactly."""
@@ -242,8 +263,12 @@ class VectorScan:
     )
 
     def __init__(
-        self, pool: "_TaskPool", evaluator: AssignmentEvaluator, capacity, family: str
-    ):
+        self,
+        pool: "_TaskPool",
+        evaluator: AssignmentEvaluator,
+        capacity: "ResourceVector",
+        family: str,
+    ) -> None:
         self._pool = pool
         self._evaluator = evaluator
         self._family = family
@@ -256,10 +281,10 @@ class VectorScan:
         #: the member's throughput, bwd[i][lane] = pairwise(w_lane,
         #: w_member_i) scales the candidate's (argument order matters to
         #: the table).
-        self._fwd: list = []
-        self._bwd: list = []
+        self._fwd: list["_FloatArray"] = []
+        self._bwd: list["_FloatArray"] = []
         self._synced_members = 0
-        self._delta = None  # lazily built for delta-stable states
+        self._delta: "_FloatArray | None" = None  # lazy, delta-stable states
 
     # -- interface shared with _ArgmaxScan ------------------------------
     def charge(self, task: Task) -> None:
@@ -280,7 +305,7 @@ class VectorScan:
         self._cpus = max(0.0, self._cpus - vec.cpus)
         self._ram = max(0.0, self._ram - vec.ram_gb)
 
-    def best(self, state) -> tuple[Task | None, float]:
+    def best(self, state: Any) -> tuple[Task | None, float]:
         arrays = self._arrays
         feasible = (
             arrays.alive
@@ -310,7 +335,7 @@ class VectorScan:
         return arrays.reps[lane], float(vmax)
 
     # -- value kernels --------------------------------------------------
-    def _deltas(self, state):
+    def _deltas(self, state: Any) -> "_FloatArray":
         """Member-independent per-lane increments (plain RP)."""
         if self._delta is None:
             self._delta = np.array(
@@ -318,7 +343,7 @@ class VectorScan:
             )
         return self._delta
 
-    def _tnrp_values(self, state: _TNRPPackState):
+    def _tnrp_values(self, state: _TNRPPackState) -> "_FloatArray":
         arrays = self._arrays
         members = state._members
         if not members:
@@ -330,7 +355,7 @@ class VectorScan:
             # per-workload scalars from the state's scan memo (shared
             # with the scalar path); only the candidate term vectorizes.
             entries = {
-                w: state.scan_entry(w) for w in set(arrays.workloads)
+                w: state.scan_entry(w) for w in sorted(set(arrays.workloads))
             }
             member_sum = np.array(
                 [entries[w][0] for w in arrays.workloads]

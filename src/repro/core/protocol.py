@@ -404,7 +404,7 @@ def replay_decision(
     for state in snapshot.instances:
         instances[state.instance_id] = state.instance
         hosted[state.instance_id] = set(state.task_ids)
-        for tid in state.task_ids:
+        for tid in sorted(state.task_ids):
             placed_on[tid] = state.instance_id
 
     def _put(task_id: str, instance_id: str) -> None:

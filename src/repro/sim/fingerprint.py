@@ -100,8 +100,12 @@ def _canonical(value: Any, path: str) -> Any:
             ],
         }
     if isinstance(value, (set, frozenset)):
-        elems = [_canonical(v, f"{path}{{}}") for v in value]
-        return {"__set__": sorted(elems, key=lambda e: json.dumps(e, sort_keys=True))}
+        return {
+            "__set__": sorted(
+                (_canonical(v, f"{path}{{}}") for v in value),
+                key=lambda e: json.dumps(e, sort_keys=True),
+            )
+        }
     if isinstance(value, Sequence):
         return [_canonical(v, f"{path}[{i}]") for i, v in enumerate(value)]
     raise FingerprintError(

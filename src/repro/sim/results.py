@@ -34,7 +34,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.batch import Scenario, ScenarioOutcome
@@ -112,7 +112,9 @@ class ResultStore:
             code change; production callers leave the default.
     """
 
-    def __init__(self, root: str | os.PathLike[str], token: str | None = None):
+    def __init__(
+        self, root: str | os.PathLike[str], token: str | None = None
+    ) -> None:
         self.root = Path(root)
         self.token = token if token is not None else code_token()
         self.stats = CacheStats()
@@ -210,7 +212,7 @@ class ResultStore:
         self.stats.stores += 1
         return True
 
-    def _load_entry(self, path: Path) -> dict | None:
+    def _load_entry(self, path: Path) -> dict[str, Any] | None:
         try:
             raw = path.read_bytes()
         except OSError:
