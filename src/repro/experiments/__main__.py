@@ -29,6 +29,13 @@ Options (run):
 * ``--format {text,json,csv}`` — stdout format.
 * ``--output FILE`` — also write the JSON run record (any format).
 * ``--workers N`` — process fan-out (default: ``EVA_BENCH_WORKERS``).
+* ``--fabric URL`` — run scenario grids on a distributed sweep fabric
+  (``python -m repro.sim.fabric serve`` + workers) instead of local
+  processes; results come back byte-identical through the fabric's
+  shared content-addressed store.  With ``--cache-dir`` the local
+  directory becomes a read-through cache in front of the fabric.
+* ``--fabric-timeout S`` — give up on an unresponsive fleet after S
+  seconds (default: wait forever).
 * ``--param k=v`` — experiment-specific size override (e.g.
   ``--param num_jobs=60``), repeatable.
 
@@ -104,6 +111,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON run record here"
     )
     run_parser.add_argument("--workers", type=int, default=None)
+    run_parser.add_argument(
+        "--fabric",
+        default=None,
+        metavar="URL",
+        help="run scenario grids on a sweep-fabric fleet at this URL",
+    )
+    run_parser.add_argument(
+        "--fabric-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up on an unresponsive fleet after S seconds",
+    )
     run_parser.add_argument(
         "--param",
         action="append",
@@ -272,7 +292,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     store = None
-    if args.cache_dir is not None:
+    dispatcher = None
+    if args.fabric is not None:
+        from repro.sim.fabric.dispatch import FabricDispatcher
+
+        dispatcher = FabricDispatcher(
+            args.fabric, timeout_s=args.fabric_timeout
+        )
+        store = dispatcher.make_store(args.cache_dir)
+    elif args.cache_dir is not None:
         from repro.sim.results import ResultStore
 
         store = ResultStore(args.cache_dir)
@@ -295,6 +323,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             store=store if spec.kind == "grid" else None,
             workers=args.workers,
             params=params,
+            dispatcher=dispatcher if spec.kind == "grid" else None,
         )
         runs.append(run_experiment(spec, ctx))
 
@@ -304,6 +333,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "seeds": list(seeds) if seeds is not None else None,
         "cache_dir": args.cache_dir,
+        "fabric": args.fabric,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "experiments": [run.to_jsonable() for run in runs],
     }

@@ -77,6 +77,10 @@ class ExperimentContext:
         workers: Process fan-out override (``None`` → EVA_BENCH_WORKERS).
         params: Experiment-specific size overrides (e.g. ``num_jobs``);
             ``None`` values fall through to each experiment's default.
+        dispatcher: Optional
+            :class:`~repro.sim.fabric.dispatch.FabricDispatcher` — grid
+            experiments then execute on a multi-host fleet instead of
+            local processes (the CLI's ``--fabric URL``).
     """
 
     seed: int = 0
@@ -84,6 +88,7 @@ class ExperimentContext:
     store: ResultStore | None = None
     workers: int | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    dispatcher: Any | None = None
 
     def param(self, name: str, default: Any = None) -> Any:
         value = self.params.get(name)
@@ -373,14 +378,23 @@ def run_experiment(
     grid = spec.build(ctx)
     if ctx.seeds is not None and spec.multi_seed:
         trials = run_trials(
-            grid.scenarios, ctx.seeds, workers=ctx.workers, store=ctx.store
+            grid.scenarios,
+            ctx.seeds,
+            workers=ctx.workers,
+            store=ctx.store,
+            dispatcher=ctx.dispatcher,
         )
         value: Any = trials
         make_table = spec.trial_table or trial_summary_table
         presentation = Presentation.of_tables(make_table(spec, grid, trials))
         seeds: tuple[int, ...] | None = trials.seeds
     else:
-        outcomes = run_batch(grid.scenarios, workers=ctx.workers, store=ctx.store)
+        outcomes = run_batch(
+            grid.scenarios,
+            workers=ctx.workers,
+            store=ctx.store,
+            dispatcher=ctx.dispatcher,
+        )
         results = grid.results_by_point([o.result for o in outcomes])
         value = spec.aggregate(grid, results)
         presentation = spec.presentation(value)

@@ -92,10 +92,20 @@ def _resolve_workers(workers: int | None, num_items: int) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _item_label(item: Any) -> str:
+    """Best-effort display label for a work item (scenarios have one)."""
+    label = getattr(item, "label", None)
+    if isinstance(label, str) and label:
+        return label
+    text = repr(item)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     workers: int | None = None,
+    label: Callable[[_T], str] | None = None,
 ) -> list[_R]:
     """Apply ``fn`` to every item, fanning out over processes.
 
@@ -103,20 +113,25 @@ def parallel_map(
     data).  Results are returned in input order regardless of completion
     order.  ``workers=None`` reads ``EVA_BENCH_WORKERS``; ``workers=1``
     (the default environment) runs a plain serial loop in-process.
+    ``label`` renders an item for diagnostics (default: the item's
+    ``.label`` attribute, else a truncated ``repr``).
 
     **Worker-crash resilience**: if a worker process dies (OOM kill,
     segfault, ``os._exit``), the executor marks the whole pool broken
     and every unfinished future raises
     :class:`~concurrent.futures.process.BrokenProcessPool`.  Instead of
     losing the sweep, the affected items are retried serially in this
-    process with a warning — completed results are kept, and ``fn``'s
-    own exceptions still propagate unchanged (only pool breakage is
-    retried).
+    process with a warning that **names the affected items** — completed
+    results are kept.  ``fn``'s own exceptions still propagate unchanged
+    (only pool breakage is retried), annotated with the originating
+    item's label so a poisoned cell in a thousand-scenario sweep is
+    identifiable from the traceback alone.
     """
     items = list(items)
     workers = _resolve_workers(workers, len(items))
+    describe = label if label is not None else _item_label
     if workers == 1:
-        return [fn(item) for item in items]
+        return [_apply_labelled(fn, item, describe) for item in items]
     results: list[_R | None] = []
     broken: list[int] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -127,16 +142,34 @@ def parallel_map(
             except BrokenProcessPool:
                 results.append(None)
                 broken.append(index)
+            except Exception as exc:
+                exc.add_note(
+                    f"parallel_map item {index} ({describe(items[index])}) "
+                    "raised in its worker process"
+                )
+                raise
     if broken:
+        poisoned = ", ".join(describe(items[index]) for index in broken)
         warnings.warn(
             f"worker process died mid-batch; retrying {len(broken)} "
-            f"item(s) serially in the parent process",
+            f"item(s) serially in the parent process: {poisoned}",
             RuntimeWarning,
             stacklevel=2,
         )
         for index in broken:
-            results[index] = fn(items[index])
+            results[index] = _apply_labelled(fn, items[index], describe)
     return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _apply_labelled(
+    fn: Callable[[_T], _R], item: _T, describe: Callable[[_T], str]
+) -> _R:
+    """Run ``fn(item)``, annotating any exception with the item's label."""
+    try:
+        return fn(item)
+    except Exception as exc:
+        exc.add_note(f"while executing item {describe(item)}")
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -398,6 +431,7 @@ def run_batch(
     scenarios: Iterable[Scenario],
     workers: int | None = None,
     store: "ResultStore | None" = None,
+    dispatcher: Any | None = None,
 ) -> list[ScenarioOutcome]:
     """Run every scenario, fanning out over ``workers`` processes.
 
@@ -413,10 +447,24 @@ def run_batch(
     where it stopped.  Results are byte-identical with or without a
     store (cache entries are pickled originals, keyed by a content
     fingerprint plus a code token).
+
+    With a ``dispatcher`` (a
+    :class:`~repro.sim.fabric.dispatch.FabricDispatcher`), the batch
+    runs on a multi-host fleet instead of local processes: misses are
+    submitted to the fabric's scenario queue, pull-stealing workers
+    execute them through this very module's executor, and results come
+    back through the shared content-addressed backend — byte-identical
+    to a serial run by construction, including under worker loss
+    (leases expire and scenarios are re-stolen).  ``workers`` is then
+    the *fleet's* concern and is ignored locally.
     """
     scenarios = list(scenarios)
+    if dispatcher is not None:
+        return dispatcher.run_batch(scenarios, store=store)
     if store is None:
-        return parallel_map(_execute_scenario, scenarios, workers=workers)
+        return parallel_map(
+            _execute_scenario, scenarios, workers=workers
+        )
 
     outcomes: list[ScenarioOutcome | None] = []
     missing: list[tuple[int, Scenario]] = []
@@ -629,12 +677,14 @@ def run_trials(
     seeds: Sequence[int],
     workers: int | None = None,
     store: "ResultStore | None" = None,
+    dispatcher: Any | None = None,
 ) -> TrialSet:
     """Run every scenario across every seed and aggregate per scenario.
 
     The full (scenario × seed) product runs as **one** batch, so it fans
-    out over ``workers`` processes and deduplicates against ``store``
-    like any other sweep.  Trials are derived with :func:`reseed`.
+    out over ``workers`` processes (or a fabric fleet via
+    ``dispatcher``) and deduplicates against ``store`` like any other
+    sweep.  Trials are derived with :func:`reseed`.
     """
     scenarios = list(scenarios)
     seeds = tuple(int(seed) for seed in seeds)
@@ -645,7 +695,7 @@ def run_trials(
     cells = [
         reseed(scenario, seed) for scenario in scenarios for seed in seeds
     ]
-    outcomes = run_batch(cells, workers=workers, store=store)
+    outcomes = run_batch(cells, workers=workers, store=store, dispatcher=dispatcher)
     aggregates = []
     for index, scenario in enumerate(scenarios):
         per_seed = outcomes[index * len(seeds) : (index + 1) * len(seeds)]

@@ -1,0 +1,61 @@
+"""Distributed sweep fabric: pluggable result-store backends plus a
+work-stealing multi-host dispatcher.
+
+The fabric turns :func:`repro.sim.batch.run_batch` from a local process
+fan-out into a fleet-wide sweep without changing a single scenario:
+
+* :mod:`repro.sim.fabric.backends` — the ``StoreBackend`` seam under
+  :class:`~repro.sim.results.ResultStore`: the classic directory layout
+  (:class:`LocalFSBackend`), an object-store-style key/value backend
+  (:class:`KVBackend`, in-memory dict or any dict-protocol transport
+  such as the HTTP map below), and a read-through/write-back
+  :class:`TieredStore` composing a fast local tier with a shared remote
+  tier.
+* :mod:`repro.sim.fabric.leases` — the scenario queue: fingerprint-keyed
+  work items leased to workers with heartbeats and lease expiry, so a
+  killed worker's scenario is re-stolen by a live one.
+* :mod:`repro.sim.fabric.server` — a stdlib ``http.server`` service
+  exposing the queue and a key/value store over JSON/HTTP.
+* :mod:`repro.sim.fabric.client` — :class:`HTTPFabricClient` /
+  :class:`HTTPKVMap` (urllib transports) and :class:`InMemoryFabric`
+  (the same interface, in-process, for tests and single-host runs).
+* :mod:`repro.sim.fabric.worker` — the pull-stealing worker loop:
+  lease, execute via the ordinary scenario executor, publish through the
+  backend, complete.
+* :mod:`repro.sim.fabric.dispatch` — :class:`FabricDispatcher`, the
+  driver-side object ``run_batch(dispatcher=...)`` delegates to.
+
+Everything is idempotent by construction: work items and results are
+keyed by ``<code-token>/<scenario-fingerprint>`` (content-addressed),
+so duplicate execution — a lease that expired while its worker was
+still alive, two racing workers — converges on byte-identical entries
+and first-write-wins publication.
+"""
+
+from repro.sim.fabric.backends import (
+    KVBackend,
+    LocalFSBackend,
+    StoreBackend,
+    TieredStore,
+)
+from repro.sim.fabric.client import HTTPFabricClient, HTTPKVMap, InMemoryFabric
+from repro.sim.fabric.dispatch import FabricDispatcher
+from repro.sim.fabric.leases import LeaseGrant, WorkQueue
+from repro.sim.fabric.server import FabricServer, serve_forever
+from repro.sim.fabric.worker import FabricWorker
+
+__all__ = [
+    "FabricDispatcher",
+    "FabricServer",
+    "FabricWorker",
+    "HTTPFabricClient",
+    "HTTPKVMap",
+    "InMemoryFabric",
+    "KVBackend",
+    "LeaseGrant",
+    "LocalFSBackend",
+    "StoreBackend",
+    "TieredStore",
+    "WorkQueue",
+    "serve_forever",
+]

@@ -1,0 +1,125 @@
+"""Fabric fleet CLI.
+
+Usage::
+
+    # one queue/KV server per fleet
+    python -m repro.sim.fabric serve --port 8765 --lease-duration 120
+
+    # any number of workers, on any host that can reach the server
+    python -m repro.sim.fabric worker --url http://HOST:8765
+    python -m repro.sim.fabric worker --url http://HOST:8765 \\
+        --cache-dir /shared/.eva-cache --idle-exit 60
+
+    # then drive any experiment through the fleet
+    python -m repro.experiments run table11 --seeds 5 \\
+        --fabric http://HOST:8765
+
+Workers publish results through the server's key/value store (plus a
+local read-through cache when ``--cache-dir`` is given), so every host
+only needs the repro sources at the same version as the driver — the
+content-addressed keys embed the code token and refuse skewed fleets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.fabric",
+        description="Distributed sweep fabric: queue server and workers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the scenario queue + KV server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--lease-duration",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="seconds a lease survives without a heartbeat (default 120)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="executions burned before an item is parked as failed",
+    )
+
+    worker = sub.add_parser("worker", help="run one pull-stealing worker loop")
+    worker.add_argument("--url", required=True, help="fabric server URL")
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="optional local read-through cache directory",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, help="display identity (default host:pid)"
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="lease-extension cadence (default: lease duration / 3)",
+    )
+    worker.add_argument(
+        "--max-items",
+        type=int,
+        default=None,
+        help="exit after resolving this many leases",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after this long with an empty queue (default: run forever)",
+    )
+    return parser
+
+
+def main(argv: list[str]) -> int:
+    args = _build_parser().parse_args(argv[1:])
+    if args.command == "serve":
+        from repro.sim.fabric.server import serve_forever
+
+        serve_forever(
+            host=args.host,
+            port=args.port,
+            lease_duration_s=args.lease_duration,
+            max_attempts=args.max_attempts,
+        )
+        return 0
+
+    from repro.sim.fabric.client import HTTPFabricClient
+    from repro.sim.fabric.dispatch import FabricDispatcher
+    from repro.sim.fabric.worker import FabricWorker
+
+    client = HTTPFabricClient(args.url)
+    store = FabricDispatcher(client).make_store(args.cache_dir)
+    worker = FabricWorker(
+        client,
+        store,
+        worker_id=args.worker_id,
+        heartbeat_interval_s=args.heartbeat_interval,
+    )
+    print(
+        f"fabric worker {worker.worker_id} pulling from {args.url}",
+        flush=True,
+    )
+    resolved = worker.run(max_items=args.max_items, idle_exit_s=args.idle_exit)
+    print(
+        f"fabric worker {worker.worker_id} exiting: {resolved} lease(s) "
+        f"resolved, {worker.executed} executed",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,266 @@
+"""Pluggable storage backends under :class:`~repro.sim.results.ResultStore`.
+
+A backend stores opaque payload bytes under content-addressed string
+keys of the form ``"<code-token16>/<scenario-fingerprint>"``.  The
+semantics every backend must provide (and that
+``tests/test_results_store.py`` checks against all of them):
+
+* **Atomic put-if-absent** — :meth:`StoreBackend.put_if_absent` writes
+  the payload only when the key is vacant and reports whether *this*
+  call stored it.  Racing writers of a content-addressed key hold
+  byte-identical payloads (results are deterministic functions of the
+  key), so first-write-wins is safe; the verdict lets callers count
+  stores without double-publishing.
+* **Readers never see partial entries** — writes are atomic
+  (temp-file + rename on the filesystem, single mapping assignment
+  under a lock in memory, one request on the wire).
+* **Corruption tolerance** — :meth:`StoreBackend.get` returns whatever
+  bytes are stored (or ``None``); *interpreting* them is the store's
+  job, and an undecodable payload is treated as a miss upstream, never
+  an error.  :meth:`StoreBackend.replace` exists so the store can
+  overwrite an entry it has decided is corrupt.
+
+Payload bytes, not pickled objects, cross this seam: backends stay
+transport-agnostic (filesystem, in-memory dict, HTTP) and the
+byte-identity contract of cached results is preserved verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "KVBackend",
+    "LocalFSBackend",
+    "StoreBackend",
+    "TieredStore",
+]
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """Split ``"<token>/<fingerprint>"`` into its two path-safe parts."""
+    token, sep, name = key.partition("/")
+    if not sep or not token or not name or "/" in name:
+        raise ValueError(
+            f"backend keys must look like '<token>/<fingerprint>', got {key!r}"
+        )
+    return token, name
+
+
+class StoreBackend(ABC):
+    """Abstract content-addressed byte store (see module docstring)."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes | None:
+        """The stored payload, or ``None`` when the key is vacant."""
+
+    @abstractmethod
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        """Store ``payload`` unless the key is taken; True iff stored now."""
+
+    @abstractmethod
+    def replace(self, key: str, payload: bytes) -> None:
+        """Unconditionally (re)write ``payload`` under ``key``."""
+
+    @abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists (without reading it)."""
+
+    @abstractmethod
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        """All stored keys starting with ``prefix``, in sorted order."""
+
+
+class LocalFSBackend(StoreBackend):
+    """The classic shared-filesystem layout: ``<root>/<token>/<fp>.pkl``.
+
+    This is exactly the directory scheme :class:`~repro.sim.results.ResultStore`
+    has always used, extracted behind the seam — existing caches keep
+    working, and a cache directory on a shared filesystem is already a
+    multi-host backend.  Atomicity comes from temp-file + ``os.link``
+    (put-if-absent; link fails on an existing name) and ``os.replace``
+    (unconditional), so concurrent writers — threads, processes, or
+    hosts sharing NFS — never expose partial entries.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        token, name = _split_key(key)
+        return self.root / token / f"{name}.pkl"
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def _write_tmp(self, path: Path, payload: bytes) -> str:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return tmp
+
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        path = self._path(key)
+        if path.exists():
+            return False
+        tmp = self._write_tmp(path, payload)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Filesystems without hard links (rare): fall back to the
+            # pre-checked atomic rename.  The earlier exists() check
+            # keeps this honest in all but a sub-millisecond race, and
+            # a lost race overwrites with byte-identical content.
+            os.replace(tmp, path)
+            return True
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return True
+
+    def replace(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        tmp = self._write_tmp(path, payload)
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for token_dir in sorted(self.root.iterdir()):
+            if not token_dir.is_dir():
+                continue
+            for entry in sorted(token_dir.glob("*.pkl")):
+                key = f"{token_dir.name}/{entry.name[: -len('.pkl')]}"
+                if key.startswith(prefix):
+                    yield key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalFSBackend({str(self.root)!r})"
+
+
+class KVBackend(StoreBackend):
+    """Object-store-style backend over any dict-protocol mapping.
+
+    The default is a plain in-process dict (the fabric server's shared
+    store, or an ephemeral cache for tests); handing it an
+    :class:`~repro.sim.fabric.client.HTTPKVMap` makes it a remote object
+    store without changing a line of store code.  The mapping only needs
+    ``__getitem__`` / ``__setitem__`` / ``__contains__`` / ``keys()``;
+    when it additionally exposes ``put_if_absent(key, payload) -> bool``
+    (as the HTTP map does, delegating atomicity to the server), that is
+    used directly — otherwise a backend-level lock makes the
+    check-then-set atomic for in-process maps.
+    """
+
+    def __init__(self, kv: Any | None = None) -> None:
+        self.kv = {} if kv is None else kv
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self.kv[key]
+        except KeyError:
+            return None
+
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        native = getattr(self.kv, "put_if_absent", None)
+        if native is not None:
+            return bool(native(key, payload))
+        with self._lock:
+            if key in self.kv:
+                return False
+            self.kv[key] = payload
+            return True
+
+    def replace(self, key: str, payload: bytes) -> None:
+        self.kv[key] = payload
+
+    def contains(self, key: str) -> bool:
+        return key in self.kv
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        for key in sorted(self.kv.keys()):
+            if key.startswith(prefix):
+                yield key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KVBackend({type(self.kv).__name__})"
+
+
+class TieredStore(StoreBackend):
+    """Read-through / write-back composition of a local and a remote tier.
+
+    Reads try ``local`` first and fall back to ``remote``; a remote hit
+    is written back into the local tier so later reads stay local.
+    Writes publish to ``remote`` first — the shared tier arbitrates
+    first-write-wins for the whole fleet — then mirror into ``local``.
+    The local tier is strictly a cache: it is always safe to delete.
+    """
+
+    def __init__(self, local: StoreBackend, remote: StoreBackend) -> None:
+        self.local = local
+        self.remote = remote
+
+    def get(self, key: str) -> bytes | None:
+        payload = self.local.get(key)
+        if payload is not None:
+            return payload
+        payload = self.remote.get(key)
+        if payload is not None:
+            self.local.replace(key, payload)
+        return payload
+
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        stored = self.remote.put_if_absent(key, payload)
+        mirror = payload if stored else self.remote.get(key)
+        if mirror is not None:
+            self.local.replace(key, mirror)
+        return stored
+
+    def replace(self, key: str, payload: bytes) -> None:
+        self.remote.replace(key, payload)
+        self.local.replace(key, payload)
+
+    def contains(self, key: str) -> bool:
+        return self.local.contains(key) or self.remote.contains(key)
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        seen: dict[str, None] = {}
+        for key in sorted(self.local.keys(prefix)):
+            seen[key] = None
+        for key in sorted(self.remote.keys(prefix)):
+            seen[key] = None
+        yield from sorted(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TieredStore(local={self.local!r}, remote={self.remote!r})"

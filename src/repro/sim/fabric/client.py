@@ -1,0 +1,241 @@
+"""Fabric clients: the in-memory fabric and the HTTP transports.
+
+Workers and the driver speak one small duck-typed interface:
+
+* ``submit_many([(key, payload), ...]) -> int``
+* ``lease(worker) -> LeaseGrant | None``
+* ``heartbeat(lease_id) -> bool``
+* ``complete(lease_id) -> bool``
+* ``fail(lease_id, error) -> bool``
+* ``poll(keys) -> {"done": [...], "failed": {key: err}, "pending": n}``
+* ``mark_done(key) -> bool``
+* ``kv_map()`` — the dict-protocol result map this fabric shares
+  (feed it to :class:`~repro.sim.fabric.backends.KVBackend`).
+
+:class:`InMemoryFabric` implements it directly over a
+:class:`~repro.sim.fabric.leases.WorkQueue` plus a
+:class:`~repro.sim.fabric.backends.KVBackend` — single-process
+multi-worker sweeps (threads) and the fault-injection tests run
+against it with no sockets at all.  :class:`HTTPFabricClient` speaks
+the same interface to a remote :class:`~repro.sim.fabric.server.FabricServer`
+over stdlib ``urllib``; :class:`HTTPKVMap` is the matching
+dict-protocol view of the server's key/value store.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Iterator
+
+from repro.sim.fabric.backends import KVBackend
+from repro.sim.fabric.leases import LeaseGrant, WorkQueue
+
+__all__ = ["HTTPFabricClient", "HTTPKVMap", "InMemoryFabric"]
+
+
+class InMemoryFabric:
+    """A whole fabric in one process: queue + shared KV, no sockets.
+
+    The default configuration for tests and single-host smoke runs;
+    workers run as threads against the same object the driver submits
+    to.  ``clock`` is forwarded to the :class:`WorkQueue`, so tests
+    can expire leases deterministically without sleeping.
+    """
+
+    def __init__(
+        self,
+        lease_duration_s: float = 60.0,
+        max_attempts: int = 5,
+        clock=time.monotonic,
+        kv: KVBackend | None = None,
+    ) -> None:
+        self.queue = WorkQueue(
+            lease_duration_s=lease_duration_s,
+            max_attempts=max_attempts,
+            clock=clock,
+        )
+        self.kv = kv if kv is not None else KVBackend()
+
+    def submit_many(self, items: list[tuple[str, bytes]]) -> int:
+        return self.queue.submit_many(items)
+
+    def lease(self, worker: str = "") -> LeaseGrant | None:
+        return self.queue.lease(worker)
+
+    def heartbeat(self, lease_id: str) -> bool:
+        return self.queue.heartbeat(lease_id)
+
+    def complete(self, lease_id: str) -> bool:
+        return self.queue.complete(lease_id)
+
+    def fail(self, lease_id: str, error: str = "") -> bool:
+        return self.queue.fail(lease_id, error)
+
+    def poll(self, keys: list[str]) -> dict:
+        return self.queue.poll(list(keys))
+
+    def mark_done(self, key: str) -> bool:
+        return self.queue.mark_done(key)
+
+    def kv_map(self) -> Any:
+        return self.kv.kv
+
+
+class _HTTPTransport:
+    """Tiny JSON-over-HTTP helper shared by the client and the KV map."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, bytes]:
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def call(self, path: str, payload: dict) -> dict:
+        status, raw = self.request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"fabric server {self.base_url}{path} returned {status}: "
+                f"{raw[:200]!r}"
+            )
+        return json.loads(raw)
+
+
+class HTTPKVMap:
+    """Dict-protocol view of a fabric server's key/value store.
+
+    Implements exactly what :class:`~repro.sim.fabric.backends.KVBackend`
+    consumes — ``__getitem__`` / ``__setitem__`` / ``__contains__`` /
+    ``keys()`` plus a native ``put_if_absent`` whose atomicity the
+    server provides — so ``KVBackend(HTTPKVMap(url))`` is a remote
+    object store.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self._http = _HTTPTransport(base_url, timeout_s=timeout_s)
+
+    def _kv_path(self, key: str) -> str:
+        return "/kv/" + urllib.parse.quote(key, safe="/")
+
+    def __getitem__(self, key: str) -> bytes:
+        status, raw = self._http.request("GET", self._kv_path(key))
+        if status == 404:
+            raise KeyError(key)
+        if status != 200:
+            raise RuntimeError(f"kv get {key!r} returned {status}")
+        return raw
+
+    def __setitem__(self, key: str, payload: bytes) -> None:
+        status, _ = self._http.request(
+            "PUT",
+            self._kv_path(key) + "?replace=1",
+            payload,
+            content_type="application/octet-stream",
+        )
+        if status != 200:
+            raise RuntimeError(f"kv replace {key!r} returned {status}")
+
+    def __contains__(self, key: str) -> bool:
+        status, _ = self._http.request("HEAD", self._kv_path(key))
+        return status == 200
+
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        status, raw = self._http.request(
+            "PUT",
+            self._kv_path(key),
+            payload,
+            content_type="application/octet-stream",
+        )
+        if status != 200:
+            raise RuntimeError(f"kv put {key!r} returned {status}")
+        return bool(json.loads(raw)["stored"])
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        status, raw = self._http.request(
+            "GET", "/kvkeys?prefix=" + urllib.parse.quote(prefix, safe="")
+        )
+        if status != 200:
+            raise RuntimeError(f"kv keys returned {status}")
+        yield from json.loads(raw)
+
+
+class HTTPFabricClient:
+    """The fabric interface over HTTP (see module docstring)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self._http = _HTTPTransport(base_url, timeout_s=timeout_s)
+
+    def submit_many(self, items: list[tuple[str, bytes]]) -> int:
+        payload = {
+            "items": [
+                {
+                    "key": key,
+                    "payload": base64.b64encode(blob).decode("ascii"),
+                }
+                for key, blob in items
+            ]
+        }
+        return int(self._http.call("/submit", payload)["accepted"])
+
+    def lease(self, worker: str = "") -> LeaseGrant | None:
+        reply = self._http.call("/lease", {"worker": worker})
+        grant = reply.get("lease")
+        if grant is None:
+            return None
+        return LeaseGrant(
+            lease_id=grant["lease_id"],
+            key=grant["key"],
+            payload=base64.b64decode(grant["payload"]),
+            duration_s=float(grant["duration_s"]),
+            attempt=int(grant["attempt"]),
+        )
+
+    def heartbeat(self, lease_id: str) -> bool:
+        return bool(self._http.call("/heartbeat", {"lease_id": lease_id})["ok"])
+
+    def complete(self, lease_id: str) -> bool:
+        return bool(self._http.call("/complete", {"lease_id": lease_id})["ok"])
+
+    def fail(self, lease_id: str, error: str = "") -> bool:
+        return bool(
+            self._http.call("/fail", {"lease_id": lease_id, "error": error})["ok"]
+        )
+
+    def poll(self, keys: list[str]) -> dict:
+        return self._http.call("/poll", {"keys": list(keys)})
+
+    def mark_done(self, key: str) -> bool:
+        return bool(self._http.call("/mark_done", {"key": key})["ok"])
+
+    def status(self) -> dict:
+        status, raw = self._http.request("GET", "/status")
+        if status != 200:
+            raise RuntimeError(f"fabric status returned {status}")
+        return json.loads(raw)
+
+    def kv_map(self) -> HTTPKVMap:
+        return HTTPKVMap(self.base_url)

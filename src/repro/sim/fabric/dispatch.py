@@ -1,0 +1,184 @@
+"""Driver-side dispatch: ``run_batch(dispatcher=...)`` delegates here.
+
+:class:`FabricDispatcher` turns a scenario list into fabric work items
+and blocks until the fleet has published every result:
+
+1. consult the store — cached scenarios never reach the queue (the
+   classic warm-cache path, now fleet-wide);
+2. submit one work item per *distinct* content-addressed key (identical
+   scenarios under different display names collapse onto one item);
+3. poll the queue; as keys complete, read the published entries back
+   through the shared backend — byte-identical pickled originals;
+4. scenarios that cannot be fingerprinted (live RNG state) never had a
+   content address to publish under, so they execute locally exactly as
+   the serial path would.
+
+A permanently failed item (it exhausted the queue's ``max_attempts``)
+raises with the scenario labels and the last worker error — a fabric
+sweep never silently drops cells.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.fabric.backends import KVBackend, LocalFSBackend, TieredStore
+from repro.sim.fabric.client import HTTPFabricClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import Scenario, ScenarioOutcome
+    from repro.sim.results import ResultStore
+
+__all__ = ["FabricDispatcher"]
+
+
+class FabricDispatcher:
+    """Dispatch scenario batches to a fabric fleet (see module docstring).
+
+    Args:
+        client: A fabric client, or a server URL string.
+        poll_interval_s: Driver poll cadence while waiting on the fleet.
+        timeout_s: Overall wait bound per batch (``None`` = wait forever;
+            lease expiry + ``max_attempts`` already bound lost work).
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        poll_interval_s: float = 0.2,
+        timeout_s: float | None = None,
+    ) -> None:
+        if isinstance(client, str):
+            client = HTTPFabricClient(client)
+        self.client = client
+        self.poll_interval_s = poll_interval_s
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def make_store(self, cache_dir: str | None = None) -> "ResultStore":
+        """A store wired to this fabric's shared result map.
+
+        With ``cache_dir``, a :class:`TieredStore` reads through the
+        local directory before the fabric KV and writes fetched results
+        back, so repeat drivers stay warm even against a fresh server.
+        """
+        from repro.sim.results import ResultStore
+
+        remote = KVBackend(self.client.kv_map())
+        backend = (
+            TieredStore(LocalFSBackend(cache_dir), remote)
+            if cache_dir is not None
+            else remote
+        )
+        return ResultStore(cache_dir, backend=backend)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        scenarios: "list[Scenario]",
+        store: "ResultStore | None" = None,
+    ) -> "list[ScenarioOutcome]":
+        """Run ``scenarios`` on the fleet; outcomes in input order.
+
+        ``store`` must share its backend with the fleet (build it with
+        :meth:`make_store`, or hand the workers the same shared
+        filesystem root); ``None`` builds an ephemeral fabric-backed
+        store.
+        """
+        from dataclasses import replace
+
+        from repro.sim.batch import _execute_scenario
+
+        if store is None:
+            store = self.make_store()
+        outcomes: "list[ScenarioOutcome | None]" = [None] * len(scenarios)
+        by_key: dict[str, list[int]] = {}
+        local: list[int] = []
+        for index, scenario in enumerate(scenarios):
+            cached = store.get(scenario)
+            if cached is not None:
+                outcomes[index] = cached
+                continue
+            key = store.key_for_scenario(scenario, count_uncacheable=False)
+            if key is None:
+                local.append(index)  # uncacheable: no content address
+                continue
+            by_key.setdefault(key, []).append(index)
+
+        if by_key:
+            self.client.submit_many(
+                [
+                    (key, pickle.dumps(scenarios[indices[0]]))
+                    for key, indices in sorted(by_key.items())
+                ]
+            )
+            self._wait(scenarios, by_key, store)
+            for key, indices in sorted(by_key.items()):
+                entry = store.fetch_key(key)
+                if entry is None:
+                    raise RuntimeError(
+                        f"fabric completed {key} but the shared store has "
+                        "no readable entry for it; worker and driver must "
+                        "share one backend"
+                    )
+                for index in indices:
+                    outcomes[index] = replace(
+                        entry, scenario=scenarios[index]
+                    )
+
+        for index in local:
+            outcomes[index] = _execute_scenario(scenarios[index])
+        return outcomes  # type: ignore[return-value]  # every slot is filled
+
+    # ------------------------------------------------------------------
+    def _wait(
+        self,
+        scenarios: "list[Scenario]",
+        by_key: dict[str, list[int]],
+        store: "ResultStore",
+    ) -> None:
+        def labels(key: str) -> str:
+            return ", ".join(
+                scenarios[index].label for index in by_key[key]
+            )
+
+        deadline = (
+            time.monotonic() + self.timeout_s
+            if self.timeout_s is not None
+            else None
+        )
+        unresolved = dict.fromkeys(sorted(by_key))
+        while unresolved:
+            reply = self.client.poll(list(unresolved))
+            for key in reply["done"]:
+                unresolved.pop(key, None)
+            failed = reply.get("failed", {})
+            if failed:
+                details = "; ".join(
+                    f"{labels(key)}: {error.strip().splitlines()[-1]}"
+                    for key, error in sorted(failed.items())
+                )
+                raise RuntimeError(
+                    f"{len(failed)} fabric work item(s) permanently "
+                    f"failed — {details}"
+                )
+            # A result can land in the shared store without its lease
+            # completing (the worker died right after publishing, or a
+            # foreign driver ran the same cell): the entry itself is
+            # authoritative, so resolve those keys too.
+            for key in list(unresolved):
+                if store.has_key(key):
+                    self.client.mark_done(key)
+                    unresolved.pop(key, None)
+            if not unresolved:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                waiting = "; ".join(labels(key) for key in unresolved)
+                raise TimeoutError(
+                    f"fabric batch timed out after {self.timeout_s}s with "
+                    f"{len(unresolved)} item(s) outstanding — {waiting}. "
+                    "Are any workers attached to this server?"
+                )
+            time.sleep(self.poll_interval_s)

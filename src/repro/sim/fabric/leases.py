@@ -1,0 +1,285 @@
+"""Fingerprint-keyed work queue with leases, heartbeats, and expiry.
+
+This is the fabric's scheduling core, kept free of sockets and wall
+clocks so it unit-tests exactly: the server wraps it in HTTP, the
+in-memory fabric uses it directly, and tests drive time with an
+injected monotonic ``clock``.
+
+Protocol (all operations thread-safe, FIFO over submission order):
+
+* ``submit(key, payload)`` — enqueue a work item (a pickled scenario)
+  under its content-addressed key.  Re-submitting a known key is a
+  no-op (idempotent drivers), except that a *failed* item is re-armed.
+* ``lease(worker)`` — pop the oldest queued item and grant a lease with
+  a deadline ``lease_duration_s`` from now.  Expired leases are swept
+  first, so a scenario whose worker died is **re-stolen** by whichever
+  live worker asks next.
+* ``heartbeat(lease_id)`` — push the deadline out; long simulations
+  beat periodically so their leases never expire mid-run.
+* ``complete(lease_id)`` / ``fail(lease_id, error)`` — resolve a lease.
+  Failures requeue the item until ``max_attempts`` executions have been
+  burned, then park it as permanently failed with the last error (the
+  driver surfaces that to the user).  A stale lease id (expired and
+  re-stolen) resolves nothing and reports ``False`` — the result the
+  late worker already published through the content-addressed backend
+  is byte-identical to the winner's, so dropping the stale resolution
+  is safe by construction.
+
+Leases and lease ids are minted from deterministic counters; the only
+nondeterminism in this module is the clock, which orders *scheduling*,
+never results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["LeaseGrant", "WorkItem", "WorkQueue"]
+
+#: Work-item lifecycle states.
+_QUEUED, _LEASED, _DONE, _FAILED = "queued", "leased", "done", "failed"
+
+DEFAULT_LEASE_DURATION_S = 60.0
+DEFAULT_MAX_ATTEMPTS = 5
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One granted lease: the item plus the lease's identity and terms."""
+
+    lease_id: str
+    key: str
+    payload: bytes
+    duration_s: float
+    attempt: int
+
+
+@dataclass
+class WorkItem:
+    """Internal per-key record (exposed read-only via :meth:`WorkQueue.item`)."""
+
+    key: str
+    payload: bytes
+    state: str = _QUEUED
+    attempts: int = 0
+    lease_id: str | None = None
+    deadline: float = 0.0
+    worker: str = ""
+    error: str | None = None
+    history: list[str] = field(default_factory=list)
+
+
+class WorkQueue:
+    """Leased FIFO of content-addressed work items (see module docstring)."""
+
+    def __init__(
+        self,
+        lease_duration_s: float = DEFAULT_LEASE_DURATION_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        clock=time.monotonic,
+    ) -> None:
+        if not lease_duration_s > 0:
+            raise ValueError(
+                f"lease_duration_s must be positive, got {lease_duration_s}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_duration_s = float(lease_duration_s)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._items: dict[str, WorkItem] = {}
+        self._queue: deque[str] = deque()
+        self._leases: dict[str, str] = {}  # lease_id -> key
+        self._lease_counter = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, key: str, payload: bytes) -> bool:
+        """Enqueue ``key``; True iff this call added (or re-armed) it."""
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                self._items[key] = WorkItem(key=key, payload=payload)
+                self._queue.append(key)
+                return True
+            if item.state == _FAILED:
+                # A fresh submission re-arms a permanently failed item
+                # (e.g. after the operator fixed the environment).
+                item.state = _QUEUED
+                item.attempts = 0
+                item.error = None
+                self._queue.append(key)
+                return True
+            return False
+
+    def submit_many(self, items: list[tuple[str, bytes]]) -> int:
+        return sum(1 for key, payload in items if self.submit(key, payload))
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def lease(self, worker: str = "") -> LeaseGrant | None:
+        """Grant the oldest queued item to ``worker``, or None when idle."""
+        with self._lock:
+            self._sweep_expired()
+            while self._queue:
+                key = self._queue.popleft()
+                item = self._items[key]
+                if item.state != _QUEUED:
+                    continue  # resolved while queued (stale queue entry)
+                self._lease_counter += 1
+                lease_id = f"L{self._lease_counter}"
+                item.state = _LEASED
+                item.attempts += 1
+                item.lease_id = lease_id
+                item.deadline = self._clock() + self.lease_duration_s
+                item.worker = worker
+                item.history.append(f"leased:{lease_id}:{worker}")
+                self._leases[lease_id] = key
+                return LeaseGrant(
+                    lease_id=lease_id,
+                    key=key,
+                    payload=item.payload,
+                    duration_s=self.lease_duration_s,
+                    attempt=item.attempts,
+                )
+            return None
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Extend a live lease; False when the lease is stale/unknown."""
+        with self._lock:
+            self._sweep_expired()
+            item = self._live_lease(lease_id)
+            if item is None:
+                return False
+            item.deadline = self._clock() + self.lease_duration_s
+            return True
+
+    def complete(self, lease_id: str) -> bool:
+        """Resolve a lease as done; False when the lease is stale/unknown."""
+        with self._lock:
+            self._sweep_expired()
+            item = self._live_lease(lease_id)
+            if item is None:
+                return False
+            self._resolve(item, _DONE, None)
+            return True
+
+    def fail(self, lease_id: str, error: str = "") -> bool:
+        """Resolve a lease as failed: requeue, or park after max attempts."""
+        with self._lock:
+            self._sweep_expired()
+            item = self._live_lease(lease_id)
+            if item is None:
+                return False
+            self._release(item)
+            item.error = error or "worker reported failure"
+            if item.attempts >= self.max_attempts:
+                item.state = _FAILED
+            else:
+                item.state = _QUEUED
+                self._queue.append(item.key)
+            return True
+
+    def mark_done(self, key: str) -> bool:
+        """Resolve ``key`` as done regardless of lease state.
+
+        The driver calls this when the result turned up in the shared
+        store through some other channel (a warm cache on another
+        driver, a late worker whose lease had expired): the content-
+        addressed entry *is* the completion certificate.
+        """
+        with self._lock:
+            item = self._items.get(key)
+            if item is None or item.state == _DONE:
+                return False
+            self._resolve(item, _DONE, None)
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def poll(self, keys: list[str]) -> dict:
+        """Driver-side status of ``keys``: done / failed / pending."""
+        with self._lock:
+            self._sweep_expired()
+            done: list[str] = []
+            failed: dict[str, str] = {}
+            pending = 0
+            for key in keys:
+                item = self._items.get(key)
+                if item is None:
+                    continue
+                if item.state == _DONE:
+                    done.append(key)
+                elif item.state == _FAILED:
+                    failed[key] = item.error or "failed"
+                else:
+                    pending += 1
+            return {"done": done, "failed": failed, "pending": pending}
+
+    def status(self) -> dict[str, int]:
+        with self._lock:
+            self._sweep_expired()
+            counts = {_QUEUED: 0, _LEASED: 0, _DONE: 0, _FAILED: 0}
+            for item in self._items.values():
+                counts[item.state] += 1
+            return counts
+
+    def item(self, key: str) -> WorkItem | None:
+        with self._lock:
+            return self._items.get(key)
+
+    def outstanding(self) -> int:
+        """Items not yet resolved (queued or leased)."""
+        counts = self.status()
+        return counts[_QUEUED] + counts[_LEASED]
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _live_lease(self, lease_id: str) -> WorkItem | None:
+        key = self._leases.get(lease_id)
+        if key is None:
+            return None
+        item = self._items[key]
+        if item.lease_id != lease_id or item.state != _LEASED:
+            return None
+        return item
+
+    def _release(self, item: WorkItem) -> None:
+        if item.lease_id is not None:
+            self._leases.pop(item.lease_id, None)
+        item.lease_id = None
+        item.worker = ""
+        item.deadline = 0.0
+
+    def _resolve(self, item: WorkItem, state: str, error: str | None) -> None:
+        self._release(item)
+        item.state = state
+        item.error = error
+
+    def _sweep_expired(self) -> None:
+        """Requeue every leased item whose deadline passed (re-steal)."""
+        now = self._clock()
+        expired = [
+            item
+            for item in self._items.values()
+            if item.state == _LEASED and item.deadline < now
+        ]
+        for item in sorted(expired, key=lambda it: it.key):
+            item.history.append(f"expired:{item.lease_id}:{item.worker}")
+            self._release(item)
+            if item.attempts >= self.max_attempts:
+                item.state = _FAILED
+                item.error = (
+                    f"lease expired {item.attempts} time(s) without completion"
+                )
+            else:
+                item.state = _QUEUED
+                self._queue.append(item.key)

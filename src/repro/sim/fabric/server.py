@@ -1,0 +1,258 @@
+"""The scenario queue service: stdlib HTTP over the work queue + KV store.
+
+One :class:`FabricServer` per sweep fleet.  It owns two pieces of
+state — a :class:`~repro.sim.fabric.leases.WorkQueue` of pickled
+scenarios keyed by ``<code-token>/<fingerprint>`` and a
+:class:`~repro.sim.fabric.backends.KVBackend` holding published result
+entries under the same keys — and exposes both over a small JSON/HTTP
+protocol (see :mod:`repro.sim.fabric.client` for the client side):
+
+======================  ====================================================
+``POST /submit``        enqueue work items ``{"items": [{key, payload}]}``
+``POST /lease``         grant one lease to the calling worker
+``POST /heartbeat``     extend a lease
+``POST /complete``      resolve a lease as done
+``POST /fail``          resolve a lease as failed (requeue / park)
+``POST /poll``          driver status of a key list
+``POST /mark_done``     resolve a key whose result arrived out-of-band
+``GET  /status``        queue + store counters
+``GET  /health``        liveness probe
+``GET|HEAD /kv/<key>``  read / probe a stored entry (raw bytes)
+``PUT  /kv/<key>``      atomic put-if-absent (``?replace=1`` overwrites)
+``GET  /kvkeys``        list stored keys (``?prefix=``)
+======================  ====================================================
+
+The server is a ``ThreadingHTTPServer``: queue operations serialize on
+the :class:`WorkQueue` lock, KV writes on the backend lock, so every
+operation a client observes is atomic.  Nothing here touches
+simulation results beyond ferrying opaque bytes — the byte-identity
+contract lives entirely in the content-addressed keys.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.sim.fabric.backends import KVBackend
+from repro.sim.fabric.leases import WorkQueue
+
+__all__ = ["FabricServer", "serve_forever"]
+
+
+class FabricServer:
+    """The queue + KV service; ``start()`` runs it on a daemon thread."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        lease_duration_s: float = 60.0,
+        max_attempts: int = 5,
+    ) -> None:
+        self.queue = WorkQueue(
+            lease_duration_s=lease_duration_s, max_attempts=max_attempts
+        )
+        self.kv = KVBackend()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "FabricServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="fabric-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FabricServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def _make_handler(server: FabricServer) -> type[BaseHTTPRequestHandler]:
+    queue = server.queue
+    kv = server.kv
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- helpers ----------------------------------------------------
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", "0"))
+            return self.rfile.read(length) if length else b""
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            raw = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _send_bytes(self, raw: bytes, status: int = 200) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _kv_key(self, parsed: urllib.parse.ParseResult) -> str:
+            return urllib.parse.unquote(parsed.path[len("/kv/") :])
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # quiet; the CLI layer reports what matters
+
+        # -- queue endpoints --------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            try:
+                body = json.loads(self._read_body() or b"{}")
+            except json.JSONDecodeError:
+                self._send_json({"error": "invalid JSON body"}, status=400)
+                return
+            path = urllib.parse.urlparse(self.path).path
+            if path == "/submit":
+                items = [
+                    (entry["key"], base64.b64decode(entry["payload"]))
+                    for entry in body.get("items", [])
+                ]
+                self._send_json({"accepted": queue.submit_many(items)})
+            elif path == "/lease":
+                grant = queue.lease(str(body.get("worker", "")))
+                if grant is None:
+                    self._send_json(
+                        {"lease": None, "outstanding": queue.outstanding()}
+                    )
+                else:
+                    self._send_json(
+                        {
+                            "lease": {
+                                "lease_id": grant.lease_id,
+                                "key": grant.key,
+                                "payload": base64.b64encode(
+                                    grant.payload
+                                ).decode("ascii"),
+                                "duration_s": grant.duration_s,
+                                "attempt": grant.attempt,
+                            }
+                        }
+                    )
+            elif path == "/heartbeat":
+                self._send_json({"ok": queue.heartbeat(body.get("lease_id", ""))})
+            elif path == "/complete":
+                self._send_json({"ok": queue.complete(body.get("lease_id", ""))})
+            elif path == "/fail":
+                self._send_json(
+                    {
+                        "ok": queue.fail(
+                            body.get("lease_id", ""), body.get("error", "")
+                        )
+                    }
+                )
+            elif path == "/poll":
+                self._send_json(queue.poll(list(body.get("keys", []))))
+            elif path == "/mark_done":
+                self._send_json({"ok": queue.mark_done(body.get("key", ""))})
+            else:
+                self._send_json({"error": f"unknown endpoint {path}"}, status=404)
+
+        # -- KV endpoints -----------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            parsed = urllib.parse.urlparse(self.path)
+            if parsed.path == "/health":
+                self._send_json({"ok": True})
+            elif parsed.path == "/status":
+                counts = queue.status()
+                counts["kv_entries"] = len(sorted(kv.keys()))
+                self._send_json(counts)
+            elif parsed.path == "/kvkeys":
+                prefix = urllib.parse.parse_qs(parsed.query).get(
+                    "prefix", [""]
+                )[0]
+                self._send_json(sorted(kv.keys(prefix)))
+            elif parsed.path.startswith("/kv/"):
+                payload = kv.get(self._kv_key(parsed))
+                if payload is None:
+                    self._send_json({"error": "not found"}, status=404)
+                else:
+                    self._send_bytes(payload)
+            else:
+                self._send_json(
+                    {"error": f"unknown endpoint {parsed.path}"}, status=404
+                )
+
+        def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+            parsed = urllib.parse.urlparse(self.path)
+            if parsed.path.startswith("/kv/") and kv.contains(
+                self._kv_key(parsed)
+            ):
+                self.send_response(200)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+            else:
+                self.send_response(404)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
+        def do_PUT(self) -> None:  # noqa: N802 - http.server API
+            parsed = urllib.parse.urlparse(self.path)
+            if not parsed.path.startswith("/kv/"):
+                self._send_json(
+                    {"error": f"unknown endpoint {parsed.path}"}, status=404
+                )
+                return
+            key = self._kv_key(parsed)
+            payload = self._read_body()
+            replace = "replace" in urllib.parse.parse_qs(parsed.query)
+            if replace:
+                kv.replace(key, payload)
+                self._send_json({"stored": True})
+            else:
+                self._send_json({"stored": kv.put_if_absent(key, payload)})
+
+    return Handler
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    lease_duration_s: float = 60.0,
+    max_attempts: int = 5,
+) -> None:
+    """Run a fabric server in the foreground (the ``serve`` CLI command)."""
+    server = FabricServer(
+        host=host,
+        port=port,
+        lease_duration_s=lease_duration_s,
+        max_attempts=max_attempts,
+    )
+    print(f"fabric server listening on {server.url}", flush=True)
+    try:
+        server._httpd.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server._httpd.server_close()

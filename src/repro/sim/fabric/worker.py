@@ -1,0 +1,195 @@
+"""The pull-stealing fabric worker loop.
+
+A worker owns nothing but a fabric client and a result store whose
+backend is shared with the fleet.  Its loop:
+
+1. **lease** a scenario from the queue (pull — an idle worker steals
+   whatever is oldest, so load balance emerges without a placement
+   policy);
+2. **fast-path**: if the content-addressed result already exists in the
+   shared store (another worker published it after this item was
+   re-queued), skip execution and complete immediately;
+3. **execute** through the ordinary
+   :func:`repro.sim.batch._execute_scenario` — the exact function
+   serial ``run_batch`` uses, so results are byte-identical by
+   construction — while a heartbeat thread keeps the lease alive;
+4. **publish** the outcome through the store (atomic put-if-absent:
+   duplicate executions converge on the first writer's byte-identical
+   entry);
+5. **complete** the lease.  A stale lease (expired and re-stolen while
+   we were executing) completes as a no-op — the published entry is
+   the completion certificate either way.
+
+Exceptions inside the simulation are reported with ``fail`` so the
+queue can retry elsewhere or park the item with the error message.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import Scenario, ScenarioOutcome
+    from repro.sim.fabric.leases import LeaseGrant
+    from repro.sim.results import ResultStore
+
+__all__ = ["FabricWorker"]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _Heartbeat:
+    """Background thread extending one lease until the work resolves."""
+
+    def __init__(self, client: Any, lease_id: str, interval_s: float) -> None:
+        self._client = client
+        self._lease_id = lease_id
+        self._interval_s = interval_s
+        self._done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{lease_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._done.wait(self._interval_s):
+            try:
+                if not self._client.heartbeat(self._lease_id):
+                    return  # lease went stale; publishing stays idempotent
+            except Exception:
+                return  # server unreachable; let the lease lapse
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._done.set()
+        self._thread.join(timeout=5.0)
+
+
+class FabricWorker:
+    """One worker loop bound to a fabric client and a shared store.
+
+    Args:
+        client: Fabric interface (:class:`~repro.sim.fabric.client.InMemoryFabric`
+            or :class:`~repro.sim.fabric.client.HTTPFabricClient`).
+        store: :class:`~repro.sim.results.ResultStore` whose backend the
+            whole fleet shares (HTTP KV, tiered, or a shared filesystem).
+        worker_id: Display identity in lease records.
+        heartbeat_interval_s: Lease-extension cadence; ``None`` derives
+            one third of the granted lease duration.
+        executor: Scenario runner override (tests inject crashing or
+            blocking executors); defaults to the batch layer's
+            :func:`~repro.sim.batch._execute_scenario`.
+        poll_interval_s: Idle sleep between lease attempts.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        store: "ResultStore",
+        worker_id: str | None = None,
+        heartbeat_interval_s: float | None = None,
+        executor: "Callable[[Scenario], ScenarioOutcome] | None" = None,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        self.client = client
+        self.store = store
+        self.worker_id = worker_id or _default_worker_id()
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.poll_interval_s = poll_interval_s
+        if executor is None:
+            from repro.sim.batch import _execute_scenario
+
+            executor = _execute_scenario
+        self.executor = executor
+        self.executed = 0  # scenarios actually simulated here
+        self.completed = 0  # leases resolved (incl. fast-path skips)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_items: int | None = None,
+        idle_exit_s: float | None = None,
+        stop: threading.Event | None = None,
+    ) -> int:
+        """Pull and execute until stopped; returns leases resolved.
+
+        ``max_items`` bounds resolved leases; ``idle_exit_s`` exits after
+        that long without work (the CLI worker's shutdown condition);
+        ``stop`` is checked between leases.
+        """
+        resolved = 0
+        idle_since: float | None = None
+        while True:
+            if stop is not None and stop.is_set():
+                return resolved
+            if max_items is not None and resolved >= max_items:
+                return resolved
+            grant = self.client.lease(self.worker_id)
+            if grant is None:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if idle_exit_s is not None and now - idle_since >= idle_exit_s:
+                    return resolved
+                time.sleep(self.poll_interval_s)
+                continue
+            idle_since = None
+            self.run_one(grant)
+            resolved += 1
+
+    def run_one(self, grant: "LeaseGrant") -> bool:
+        """Execute one granted lease; True iff the lease completed live."""
+        interval = self.heartbeat_interval_s
+        if interval is None:
+            interval = max(grant.duration_s / 3.0, 0.02)
+        if self.store.has_key(grant.key):
+            # Another worker already published this content-addressed
+            # result (duplicate lease after an expiry); don't re-simulate.
+            done = self.client.complete(grant.lease_id)
+            self.completed += int(done)
+            return done
+        try:
+            scenario: "Scenario" = pickle.loads(grant.payload)
+            with _Heartbeat(self.client, grant.lease_id, interval):
+                outcome = self.executor(scenario)
+            self.publish(grant.key, scenario, outcome)
+        except Exception as exc:
+            self.client.fail(
+                grant.lease_id,
+                f"{type(exc).__name__}: {exc}\n"
+                + "".join(traceback.format_exception(exc)[-3:]),
+            )
+            return False
+        self.executed += 1
+        done = self.client.complete(grant.lease_id)
+        self.completed += int(done)
+        return done
+
+    def publish(
+        self, key: str, scenario: "Scenario", outcome: "ScenarioOutcome"
+    ) -> None:
+        """Publish under the *lease* key (first-write-wins).
+
+        The lease key embeds the driver's code token.  If this worker's
+        own token disagrees — the worker is running different code than
+        the driver — publishing under our token would strand the driver
+        waiting forever, so that skew is an error, not a silent remap.
+        """
+        own_key = self.store.key_for_scenario(scenario)
+        if own_key is not None and own_key != key:
+            raise RuntimeError(
+                f"code-token skew: driver submitted {key.split('/', 1)[0]} "
+                f"but this worker runs {own_key.split('/', 1)[0]}; "
+                "deploy the same repro sources on every host"
+            )
+        self.store.put(scenario, outcome)

@@ -16,13 +16,23 @@ Keys:
   results are a function of (scenario, code), and only byte-identical
   replays may be served from cache.
 
-Layout under the store root (safe to delete at any time)::
+*Where* entries live is a pluggable
+:class:`~repro.sim.fabric.backends.StoreBackend`.  The default is the
+classic directory layout (safe to delete at any time)::
 
     <root>/<code-token[:16]>/<fingerprint>.pkl
 
-Entries are written atomically (temp file + ``os.replace``) so a killed
-sweep never leaves a truncated entry behind, and unreadable/corrupted
-entries are treated as misses, never as errors.
+via :class:`~repro.sim.fabric.backends.LocalFSBackend`; the fabric's
+:class:`~repro.sim.fabric.backends.KVBackend` (in-memory or HTTP object
+store) and :class:`~repro.sim.fabric.backends.TieredStore`
+(read-through local cache over a shared remote tier) plug in through
+the ``backend`` argument without changing any store semantics.
+
+Entries are written atomically (the backend's contract) so a killed
+sweep never leaves a truncated entry behind; writes are put-if-absent
+(first-write-wins — racing writers of a content-addressed key hold
+byte-identical payloads); and unreadable/corrupted entries are treated
+as misses, never as errors, then repaired on the next put.
 """
 
 from __future__ import annotations
@@ -31,10 +41,11 @@ import functools
 import hashlib
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.sim.fabric.backends import LocalFSBackend, StoreBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.batch import Scenario, ScenarioOutcome
@@ -67,10 +78,11 @@ def code_token() -> str:
 class CacheStats:
     """Running counters of one store's traffic.
 
-    ``hits``/``misses`` count lookups; ``stores`` counts successful
-    writes; ``uncacheable`` counts scenarios whose fingerprint could not
-    be computed (e.g. live RNG state) and which therefore bypassed the
-    cache entirely.
+    ``hits``/``misses`` count lookups; ``stores`` counts entries this
+    store actually wrote (a put that lost a first-write-wins race to an
+    existing valid entry does not count); ``uncacheable`` counts
+    scenarios whose fingerprint could not be computed (e.g. live RNG
+    state) and which therefore bypassed the cache entirely.
     """
 
     hits: int = 0
@@ -104,26 +116,46 @@ _ENTRY_VERSION = 1
 
 
 class ResultStore:
-    """Filesystem-backed content-addressed cache of scenario outcomes.
+    """Content-addressed cache of scenario outcomes over a backend.
 
     Args:
-        root: Cache directory (created on first write).
+        root: Cache directory for the default filesystem backend
+            (created on first write).  May be ``None`` when an explicit
+            ``backend`` is given.
         token: Override the code token — tests use this to simulate a
             code change; production callers leave the default.
+        backend: Storage backend; ``None`` means
+            ``LocalFSBackend(root)`` (the classic layout).
     """
 
     def __init__(
-        self, root: str | os.PathLike[str], token: str | None = None
+        self,
+        root: str | os.PathLike[str] | None = None,
+        token: str | None = None,
+        backend: StoreBackend | None = None,
     ) -> None:
-        self.root = Path(root)
+        if backend is None:
+            if root is None:
+                raise ValueError("ResultStore needs a root or a backend")
+            backend = LocalFSBackend(root)
+        self.root = Path(root) if root is not None else None
+        self.backend = backend
         self.token = token if token is not None else code_token()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     # Keying
     # ------------------------------------------------------------------
-    def _entry_path(self, fp: str) -> Path:
-        return self.root / self.token[:16] / f"{fp}.pkl"
+    def key_for(self, fp: str) -> str:
+        """The backend key of fingerprint ``fp`` under this code token."""
+        return f"{self.token[:16]}/{fp}"
+
+    def key_for_scenario(
+        self, scenario: "Scenario", count_uncacheable: bool = True
+    ) -> str | None:
+        """``scenario``'s backend key, or None when unfingerprintable."""
+        fp = self._fingerprint(scenario, count_uncacheable=count_uncacheable)
+        return None if fp is None else self.key_for(fp)
 
     def _fingerprint(
         self, scenario: "Scenario", count_uncacheable: bool = True
@@ -156,7 +188,7 @@ class ResultStore:
         fp = self._fingerprint(scenario)
         if fp is None:
             return None
-        entry = self._load_entry(self._entry_path(fp))
+        entry = self._load_entry(self.key_for(fp))
         if entry is None:
             self.stats.misses += 1
             return None
@@ -176,7 +208,7 @@ class ResultStore:
         fp = self._fingerprint(scenario)
         if fp is None:
             return "uncacheable"
-        if self._entry_path(fp).is_file():
+        if self.backend.contains(self.key_for(fp)):
             self.stats.hits += 1
             return "hit"
         self.stats.misses += 1
@@ -185,37 +217,49 @@ class ResultStore:
     def put(self, scenario: "Scenario", outcome: "ScenarioOutcome") -> bool:
         """Store ``outcome`` under ``scenario``'s fingerprint.
 
-        Returns True if the entry was written; False for uncacheable
-        scenarios.  Writes are atomic (temp file + rename), so readers
-        never observe partial entries.
+        Returns True if this call wrote the entry; False for
+        uncacheable scenarios or when a valid entry already existed
+        (first-write-wins — the existing bytes are byte-identical by
+        the determinism contract, so they are left untouched).  An
+        existing entry that no longer decodes is repaired in place.
         """
         fp = self._fingerprint(scenario, count_uncacheable=False)
         if fp is None:
             return False
-        path = self._entry_path(fp)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        key = self.key_for(fp)
         payload = pickle.dumps(
             {"version": _ENTRY_VERSION, "fingerprint": fp, "outcome": outcome},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
-        return True
+        stored = self.backend.put_if_absent(key, payload)
+        if not stored and self._load_entry(key) is None:
+            # The occupant is corrupt/truncated: replace it.
+            self.backend.replace(key, payload)
+            stored = True
+        if stored:
+            self.stats.stores += 1
+        return stored
 
-    def _load_entry(self, path: Path) -> dict[str, Any] | None:
-        try:
-            raw = path.read_bytes()
-        except OSError:
+    # ------------------------------------------------------------------
+    # Key-level access (the fabric's interface; no stats counting)
+    # ------------------------------------------------------------------
+    def has_key(self, key: str) -> bool:
+        """Whether ``key`` has an entry (no stats, no decode)."""
+        return self.backend.contains(key)
+
+    def fetch_key(self, key: str) -> "ScenarioOutcome | None":
+        """Decode the outcome stored under a backend key (no stats).
+
+        The fabric driver resolves completed work items by key after
+        already having counted the scenario's miss, so this fetch stays
+        out of the hit/miss accounting.
+        """
+        entry = self._load_entry(key)
+        return None if entry is None else entry["outcome"]
+
+    def _load_entry(self, key: str) -> dict[str, Any] | None:
+        raw = self.backend.get(key)
+        if raw is None:
             return None
         try:
             entry = pickle.loads(raw)
@@ -235,11 +279,11 @@ class ResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
 
-    def _entries(self) -> Iterator[Path]:
-        token_dir = self.root / self.token[:16]
-        if not token_dir.is_dir():
-            return
-        yield from token_dir.glob("*.pkl")
+    def _entries(self) -> Iterator[str]:
+        yield from self.backend.keys(prefix=f"{self.token[:16]}/")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ResultStore({str(self.root)!r}, token={self.token[:16]})"
+        where = (
+            str(self.root) if self.root is not None else repr(self.backend)
+        )
+        return f"ResultStore({where!r}, token={self.token[:16]})"

@@ -190,9 +190,78 @@ class TestWorkerDeath:
             results = parallel_map(_square_or_die, list(range(5)), workers=2)
         assert results == [0, 1, 4, 9, 16]
 
+    def test_broken_pool_warning_names_the_poisoned_items(self):
+        """The retry warning must say *which* items it is retrying —
+        'a worker died' without labels is useless in a large sweep."""
+        with pytest.warns(RuntimeWarning, match=r"serially in the parent process: .*2"):
+            parallel_map(_square_or_die, list(range(5)), workers=2)
+
     def test_serial_path_unaffected(self):
         # workers=1 never enters the pool, so nothing dies.
         assert parallel_map(_square_or_die, [2], workers=1) == [4]
+
+
+# ---------------------------------------------------------------------------
+# Exception labelling
+# ---------------------------------------------------------------------------
+
+
+def _square_or_raise(x: int) -> int:
+    if x == 3:
+        raise ValueError("poisoned cell")
+    return x * x
+
+
+class _Labelled:
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+class TestExceptionLabelling:
+    """Per-item exceptions must carry the originating item's label, so a
+    poisoned cell in a thousand-scenario sweep is identifiable from the
+    traceback alone (pool and serial paths alike)."""
+
+    def test_pool_exception_names_item_index_and_label(self):
+        with pytest.raises(ValueError, match="poisoned cell") as excinfo:
+            parallel_map(_square_or_raise, list(range(5)), workers=2)
+        assert any(
+            "parallel_map item 3 (3) raised in its worker process" in note
+            for note in excinfo.value.__notes__
+        )
+
+    def test_serial_exception_names_the_item(self):
+        with pytest.raises(ValueError, match="poisoned cell") as excinfo:
+            parallel_map(_square_or_raise, [0, 3], workers=1)
+        assert any(
+            "while executing item 3" in note for note in excinfo.value.__notes__
+        )
+
+    def test_custom_label_callable_is_used(self):
+        with pytest.raises(ValueError) as excinfo:
+            parallel_map(
+                _square_or_raise, [3], workers=1, label=lambda x: f"cell-{x}"
+            )
+        assert any("cell-3" in note for note in excinfo.value.__notes__)
+
+    def test_default_label_prefers_item_label_attribute(self):
+        from repro.sim.batch import _item_label
+
+        assert _item_label(_Labelled("eva/seed=3")) == "eva/seed=3"
+        # An empty label falls back to repr, like any label-less item.
+        assert _item_label(_Labelled("")).startswith("<")
+        assert _item_label(12) == "12"
+        long = "x" * 200
+        rendered = _item_label(long)
+        assert len(rendered) == 80 and rendered.endswith("...")
+
+    def test_scenario_exception_carries_its_label(self):
+        scenario = Scenario(
+            scheduler="nonesuch", trace=synthetic_trace(2, seed=0), name="Bad"
+        )
+        with pytest.raises(KeyError) as excinfo:
+            run_batch([scenario], workers=1)
+        assert any(scenario.label in note for note in excinfo.value.__notes__)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,713 @@
+"""Fault-injection harness for the distributed sweep fabric.
+
+Everything here drives the real production pieces — `WorkQueue`,
+`InMemoryFabric`, `FabricWorker`, `FabricDispatcher`, and the HTTP
+server/client pair — and asserts the fabric's one non-negotiable
+contract: a sweep through the fabric yields **byte-identical**
+`SimulationResult`s to serial `run_batch`, no matter how many workers
+run, which ones die mid-lease, or how many duplicate executions race.
+
+Determinism discipline: worker death is injected by taking a lease and
+abandoning it (exactly what a SIGKILLed worker leaves behind), and time
+is a fake monotonic clock injected into the `WorkQueue`, so lease
+expiry happens when the test says so — no sleeps, no flaky timing.
+"""
+
+import pickle
+import random
+import threading
+import time
+
+import pytest
+
+from repro.sim.batch import Scenario, TraceSpec, _execute_scenario, run_batch
+from repro.sim.fabric import (
+    FabricDispatcher,
+    FabricServer,
+    FabricWorker,
+    HTTPFabricClient,
+    HTTPKVMap,
+    InMemoryFabric,
+    KVBackend,
+    LocalFSBackend,
+    TieredStore,
+    WorkQueue,
+)
+from repro.sim.results import ResultStore
+from test_sim_invariants import _fuzz_scenario
+
+
+class FakeClock:
+    """Injectable monotonic clock: time moves only when the test says."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _scenarios(n: int = 3) -> list[Scenario]:
+    return [
+        Scenario(
+            scheduler="eva",
+            trace=TraceSpec.make("small-physical", seed=seed),
+            name=f"Eva/s{seed}",
+            seed=seed,
+        )
+        for seed in range(n)
+    ]
+
+
+def _wait_until(predicate, timeout_s: float = 30.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.01)
+
+
+def _result_bytes(outcome) -> bytes:
+    return pickle.dumps(outcome.result)
+
+
+# ---------------------------------------------------------------------------
+# WorkQueue unit tests (fake clock, no threads)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkQueue:
+    def make(self, **kwargs) -> tuple[WorkQueue, FakeClock]:
+        clock = FakeClock()
+        kwargs.setdefault("lease_duration_s", 10.0)
+        return WorkQueue(clock=clock, **kwargs), clock
+
+    def test_fifo_over_submission_order(self):
+        queue, _ = self.make()
+        queue.submit_many([("t/a", b"1"), ("t/b", b"2"), ("t/c", b"3")])
+        assert [queue.lease("w").key for _ in range(3)] == ["t/a", "t/b", "t/c"]
+        assert queue.lease("w") is None
+
+    def test_submit_is_idempotent(self):
+        queue, _ = self.make()
+        assert queue.submit("t/a", b"1") is True
+        assert queue.submit("t/a", b"1") is False
+        assert queue.submit_many([("t/a", b"1"), ("t/b", b"2")]) == 1
+
+    def test_expired_lease_is_restolen(self):
+        queue, clock = self.make(lease_duration_s=10.0)
+        queue.submit("t/a", b"1")
+        first = queue.lease("victim")
+        assert queue.lease("other") is None  # leased, nothing to steal
+        clock.advance(10.1)
+        second = queue.lease("thief")
+        assert second is not None and second.key == "t/a"
+        assert second.attempt == 2
+        item = queue.item("t/a")
+        assert f"expired:{first.lease_id}:victim" in item.history
+        # The victim's lease id is now stale everywhere.
+        assert queue.heartbeat(first.lease_id) is False
+        assert queue.complete(first.lease_id) is False
+        assert queue.fail(first.lease_id) is False
+
+    def test_heartbeat_extends_the_deadline(self):
+        queue, clock = self.make(lease_duration_s=10.0)
+        queue.submit("t/a", b"1")
+        grant = queue.lease("w")
+        for _ in range(5):
+            clock.advance(9.0)
+            assert queue.heartbeat(grant.lease_id) is True
+        # 45 fake seconds of work later the lease is still ours.
+        assert queue.complete(grant.lease_id) is True
+        assert queue.item("t/a").state == "done"
+
+    def test_repeated_expiry_parks_the_item_as_failed(self):
+        queue, clock = self.make(lease_duration_s=1.0, max_attempts=3)
+        queue.submit("t/a", b"1")
+        for attempt in (1, 2, 3):
+            grant = queue.lease(f"w{attempt}")
+            assert grant.attempt == attempt
+            clock.advance(1.5)
+        assert queue.lease("w4") is None
+        item = queue.item("t/a")
+        assert item.state == "failed"
+        assert "expired 3 time(s)" in item.error
+        assert queue.poll(["t/a"])["failed"] == {
+            "t/a": "lease expired 3 time(s) without completion"
+        }
+
+    def test_fail_requeues_then_parks_and_resubmit_rearms(self):
+        queue, _ = self.make(max_attempts=2)
+        queue.submit("t/a", b"1")
+        assert queue.fail(queue.lease("w").lease_id, "boom 1") is True
+        assert queue.item("t/a").state == "queued"
+        assert queue.fail(queue.lease("w").lease_id, "boom 2") is True
+        assert queue.item("t/a").state == "failed"
+        assert queue.poll(["t/a"])["failed"] == {"t/a": "boom 2"}
+        # A fresh submission re-arms the parked item with fresh attempts.
+        assert queue.submit("t/a", b"1") is True
+        assert queue.item("t/a").attempts == 0
+        assert queue.lease("w").attempt == 1
+
+    def test_mark_done_resolves_regardless_of_lease_state(self):
+        queue, _ = self.make()
+        queue.submit_many([("t/a", b"1"), ("t/b", b"2")])
+        queue.lease("w")  # t/a leased
+        assert queue.mark_done("t/a") is True  # result arrived out-of-band
+        assert queue.mark_done("t/a") is False  # already done
+        assert queue.mark_done("t/b") is True  # still queued: also fine
+        assert queue.mark_done("t/zzz") is False  # unknown key
+        assert queue.lease("w") is None
+        assert queue.poll(["t/a", "t/b"]) == {
+            "done": ["t/a", "t/b"],
+            "failed": {},
+            "pending": 0,
+        }
+
+    def test_status_and_outstanding(self):
+        queue, clock = self.make(lease_duration_s=5.0)
+        queue.submit_many([("t/a", b"1"), ("t/b", b"2"), ("t/c", b"3")])
+        queue.complete(queue.lease("w").lease_id)
+        queue.lease("w")
+        assert queue.status() == {"queued": 1, "leased": 1, "done": 1, "failed": 0}
+        assert queue.outstanding() == 2
+        clock.advance(6.0)  # the leased item expires back into the queue
+        assert queue.status() == {"queued": 2, "leased": 0, "done": 1, "failed": 0}
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="lease_duration_s"):
+            WorkQueue(lease_duration_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            WorkQueue(max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker sweeps: byte-identity with injected faults
+# ---------------------------------------------------------------------------
+
+
+def _start_workers(fabric, backend, n, stop, **worker_kwargs):
+    workers = [
+        FabricWorker(
+            fabric,
+            ResultStore(backend=backend),
+            worker_id=f"w{i}",
+            poll_interval_s=0.005,
+            **worker_kwargs,
+        )
+        for i in range(n)
+    ]
+    threads = [
+        threading.Thread(target=w.run, kwargs={"stop": stop}, daemon=True)
+        for w in workers
+    ]
+    for t in threads:
+        t.start()
+    return workers, threads
+
+
+class TestFabricSweeps:
+    def test_multiworker_sweep_is_byte_identical_to_serial(self):
+        scenarios = _scenarios(4)
+        serial = run_batch(scenarios)
+
+        fabric = InMemoryFabric(lease_duration_s=60.0)
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=120)
+        store = dispatcher.make_store()
+        stop = threading.Event()
+        workers, threads = _start_workers(fabric, fabric.kv, 3, stop)
+        try:
+            outcomes = dispatcher.run_batch(scenarios, store=store)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        for s_out, f_out in zip(serial, outcomes):
+            assert _result_bytes(s_out) == _result_bytes(f_out), s_out.scenario.name
+            assert f_out.scenario == s_out.scenario
+        # Conservation: each scenario simulated exactly once, fleet-wide.
+        assert sum(w.executed for w in workers) == len(scenarios)
+        assert fabric.queue.status()["done"] == len(scenarios)
+        # Cold pass through the dispatcher counts one miss per scenario.
+        assert store.stats.misses == len(scenarios)
+
+        # Warm pass needs no workers at all: every cell is a cache hit.
+        again = dispatcher.run_batch(scenarios, store=store)
+        assert [_result_bytes(o) for o in again] == [
+            _result_bytes(o) for o in serial
+        ]
+        assert store.stats.hits == len(scenarios)
+
+    def test_killed_worker_lease_expires_and_is_restolen(self):
+        """The headline fault injection: a worker takes a lease and dies.
+
+        The dispatcher blocks on the sweep while a 'victim' lease is
+        abandoned (a SIGKILLed worker leaves exactly this state behind);
+        advancing the fake clock expires the lease, the surviving worker
+        re-steals the scenario, and the final result set is complete and
+        byte-identical to a serial run.
+        """
+        scenarios = _scenarios(3)
+        serial = run_batch(scenarios)
+
+        clock = FakeClock()
+        fabric = InMemoryFabric(lease_duration_s=50.0, clock=clock)
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=120)
+        driver_store = dispatcher.make_store()
+
+        holder: dict = {}
+
+        def drive() -> None:
+            holder["outcomes"] = dispatcher.run_batch(
+                scenarios, store=driver_store
+            )
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        _wait_until(
+            lambda: fabric.queue.outstanding() == len(scenarios),
+            what="the driver to submit its work items",
+        )
+
+        # The victim leases the oldest scenario ... and dies silently.
+        victim = fabric.lease("victim")
+        assert victim is not None
+
+        stop = threading.Event()
+        # Huge heartbeat interval: the live worker never beats, so only
+        # the fake clock (which we alone advance) decides expiry.
+        workers, threads = _start_workers(
+            fabric, fabric.kv, 1, stop, heartbeat_interval_s=1000.0
+        )
+        try:
+            # The survivor drains everything except the victim's lease.
+            _wait_until(
+                lambda: fabric.queue.status()["done"] == len(scenarios) - 1,
+                what="the surviving worker to drain the queue",
+            )
+            assert fabric.poll([victim.key])["pending"] == 1
+            assert driver.is_alive()  # sweep incomplete: driver still waits
+
+            clock.advance(51.0)  # the victim's lease expires ...
+            driver.join(timeout=60)  # ... and the sweep completes
+            assert not driver.is_alive()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        item = fabric.queue.item(victim.key)
+        assert item.state == "done"
+        assert item.attempts == 2  # victim's lease + the re-steal
+        assert f"expired:{victim.lease_id}:victim" in item.history
+        # The victim's stale lease id resolves nothing after the fact.
+        assert fabric.complete(victim.lease_id) is False
+
+        outcomes = holder["outcomes"]
+        assert [_result_bytes(o) for o in outcomes] == [
+            _result_bytes(o) for o in serial
+        ]
+        [survivor] = workers
+        assert survivor.executed == len(scenarios)  # incl. the re-steal
+
+    def test_duplicate_execution_race_first_write_wins_equal_bytes(self):
+        """Two workers execute the same scenario; the store keeps one entry.
+
+        Worker 1 finishes computing but stalls before publishing (a GC
+        pause, a slow network); its lease expires and worker 2 re-steals,
+        executes, and publishes.  When worker 1 finally publishes, its
+        put-if-absent loses — and because results are deterministic, the
+        loser's bytes equal the winner's, so nothing was lost.
+        """
+        clock = FakeClock()
+        fabric = InMemoryFabric(lease_duration_s=5.0, clock=clock)
+        backend = fabric.kv
+        [scenario] = _scenarios(1)
+        driver_store = ResultStore(backend=backend)
+        key = driver_store.key_for_scenario(scenario)
+        fabric.submit_many([(key, pickle.dumps(scenario))])
+
+        computed = threading.Event()
+        release = threading.Event()
+        outcomes_seen = []
+
+        def stalling_executor(s):
+            outcome = _execute_scenario(s)
+            outcomes_seen.append(outcome)
+            computed.set()
+            assert release.wait(60)
+            return outcome
+
+        w1 = FabricWorker(
+            fabric,
+            ResultStore(backend=backend),
+            worker_id="w1",
+            executor=stalling_executor,
+            heartbeat_interval_s=1000.0,  # never beats: expiry is ours
+        )
+        g1 = fabric.lease("w1")
+        t1 = threading.Thread(target=w1.run_one, args=(g1,), daemon=True)
+        t1.start()
+        assert computed.wait(60)  # w1 has the result in hand, unpublished
+
+        clock.advance(6.0)  # w1's lease expires mid-flight
+        w2 = FabricWorker(
+            fabric,
+            ResultStore(backend=backend),
+            worker_id="w2",
+            heartbeat_interval_s=1000.0,
+        )
+        g2 = fabric.lease("w2")
+        assert g2 is not None and g2.key == key and g2.attempt == 2
+        assert w2.run_one(g2) is True
+        winner_bytes = backend.get(key)
+        assert winner_bytes is not None
+
+        release.set()  # w1 wakes up and publishes late
+        t1.join(timeout=60)
+        assert not t1.is_alive()
+
+        # First-write-wins: the stored entry is untouched by the loser.
+        assert backend.get(key) == winner_bytes
+        # Both executions really happened and agreed byte-for-byte.
+        assert w1.executed == 1 and w2.executed == 1
+        [w1_outcome] = outcomes_seen
+        stored = driver_store.fetch_key(key)
+        assert pickle.dumps(stored.result) == pickle.dumps(w1_outcome.result)
+        # The loser's stale lease could not complete; the winner's did.
+        assert w1.completed == 0 and w2.completed == 1
+        assert fabric.queue.item(key).state == "done"
+
+    def test_restolen_item_with_published_result_skips_execution(self):
+        """Fast path: a re-stolen item whose result already landed in the
+        shared store completes without re-simulating."""
+        fabric = InMemoryFabric(lease_duration_s=60.0)
+        backend = fabric.kv
+        [scenario] = _scenarios(1)
+        store = ResultStore(backend=backend)
+        key = store.key_for_scenario(scenario)
+        # The result is already published (late worker, foreign driver).
+        store.put(scenario, _execute_scenario(scenario))
+        fabric.submit_many([(key, pickle.dumps(scenario))])
+        worker = FabricWorker(fabric, ResultStore(backend=backend))
+        assert worker.run_one(fabric.lease("w")) is True
+        assert worker.executed == 0 and worker.completed == 1
+
+    def test_permanent_failure_surfaces_scenario_labels(self):
+        fabric = InMemoryFabric(lease_duration_s=60.0, max_attempts=1)
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=60)
+        store = dispatcher.make_store()
+
+        def explode(scenario):
+            raise ValueError("injected simulation fault")
+
+        stop = threading.Event()
+        _, threads = _start_workers(fabric, fabric.kv, 1, stop, executor=explode)
+        try:
+            with pytest.raises(
+                RuntimeError,
+                match=r"permanently failed.*Eva/s0.*injected simulation fault",
+            ):
+                dispatcher.run_batch(_scenarios(1), store=store)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+    def test_worker_detects_code_token_skew(self):
+        fabric = InMemoryFabric()
+        [scenario] = _scenarios(1)
+        # The "driver" submitted under a different code token than the
+        # worker's store computes — i.e. mismatched deployments.
+        foreign_key = f"{'f' * 16}/{scenario.fingerprint()}"
+        fabric.submit_many([(foreign_key, pickle.dumps(scenario))])
+        worker = FabricWorker(fabric, ResultStore(backend=fabric.kv))
+        assert worker.run_one(fabric.lease("w")) is False
+        item = fabric.queue.item(foreign_key)
+        assert "code-token skew" in item.error
+
+    def test_uncacheable_scenarios_run_locally(self):
+        import numpy as np
+
+        from repro.cloud.delays import DelayModel
+
+        fabric = InMemoryFabric()
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=60)
+        scenario = Scenario(
+            scheduler="eva",
+            trace=TraceSpec.make("small-physical", seed=0),
+            delay_model=DelayModel(stochastic=True, rng=np.random.default_rng(0)),
+        )
+        # No workers attached: the uncacheable cell must not need any.
+        [outcome] = dispatcher.run_batch([scenario])
+        assert outcome.result.num_jobs > 0
+        assert fabric.queue.status() == {
+            "queued": 0,
+            "leased": 0,
+            "done": 0,
+            "failed": 0,
+        }
+
+    def test_duplicate_display_names_collapse_to_one_execution(self):
+        base = _scenarios(1)[0]
+        scenarios = [
+            Scenario(
+                scheduler=base.scheduler,
+                trace=base.trace,
+                name=name,
+                seed=base.seed,
+            )
+            for name in ("First", "Second")
+        ]
+        fabric = InMemoryFabric()
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=60)
+        store = dispatcher.make_store()
+        stop = threading.Event()
+        workers, threads = _start_workers(fabric, fabric.kv, 2, stop)
+        try:
+            outcomes = dispatcher.run_batch(scenarios, store=store)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert sum(w.executed for w in workers) == 1
+        assert [o.scenario.name for o in outcomes] == ["First", "Second"]
+        assert _result_bytes(outcomes[0]) == _result_bytes(outcomes[1])
+
+    def test_dispatcher_timeout_names_the_stragglers(self):
+        fabric = InMemoryFabric()  # no workers will ever attach
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=0.05)
+        with pytest.raises(TimeoutError, match=r"Eva/s0"):
+            dispatcher.run_batch(_scenarios(1))
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzz: random worker counts, kill schedules, and fabric knobs
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzedFabric:
+    @pytest.mark.parametrize("fuzz_seed", [1, 2, 3])
+    def test_fuzzed_sweep_conserves_and_matches_serial(self, fuzz_seed, tmp_path):
+        """Randomized fleet shapes never change a single result byte.
+
+        Each case draws worker count, lease duration, heartbeat
+        interval, backend kind, and a kill schedule (how many leases get
+        abandoned before the fleet starts) from a seeded RNG, sweeps
+        fuzzed scenarios (imported from the simulator's own fuzz
+        harness), and asserts conservation — every scenario done exactly
+        once, nothing failed — plus byte-identity with serial run_batch.
+        """
+        rng = random.Random(1000 + fuzz_seed)
+        scenarios = [
+            _fuzz_scenario(rng.randrange(10_000)) for _ in range(rng.randint(2, 3))
+        ]
+        serial = run_batch(scenarios)
+
+        n_workers = rng.randint(1, 3)
+        lease_s = rng.uniform(20.0, 90.0)
+        heartbeat_s = lease_s / rng.choice([3, 4, 5])
+        backend_kind = rng.choice(["kv", "tiered", "localfs"])
+        n_kills = rng.randint(0, 2)
+
+        clock = FakeClock()
+        fabric = InMemoryFabric(
+            lease_duration_s=lease_s, max_attempts=5, clock=clock
+        )
+        if backend_kind == "kv":
+            backend = fabric.kv
+        elif backend_kind == "localfs":
+            backend = LocalFSBackend(tmp_path / "shared")
+        else:
+            backend = TieredStore(
+                LocalFSBackend(tmp_path / "tier"), KVBackend(fabric.kv.kv)
+            )
+        dispatcher = FabricDispatcher(fabric, poll_interval_s=0.01, timeout_s=300)
+        driver_store = ResultStore(backend=backend)
+
+        holder: dict = {}
+        driver = threading.Thread(
+            target=lambda: holder.update(
+                outcomes=dispatcher.run_batch(scenarios, store=driver_store)
+            ),
+            daemon=True,
+        )
+        driver.start()
+        _wait_until(
+            lambda: fabric.queue.outstanding() > 0 or not driver.is_alive(),
+            what="work-item submission",
+        )
+
+        # Kill schedule: victims lease work and die without a heartbeat.
+        victims = []
+        for _ in range(n_kills):
+            grant = fabric.lease(f"victim{len(victims)}")
+            if grant is not None:
+                victims.append(grant)
+        if victims:
+            clock.advance(lease_s * 1.5)  # every victim's lease expires
+
+        stop = threading.Event()
+        workers, threads = _start_workers(
+            fabric,
+            backend,
+            n_workers,
+            stop,
+            heartbeat_interval_s=heartbeat_s,
+        )
+        try:
+            driver.join(timeout=300)
+            assert not driver.is_alive(), "fuzzed sweep deadlocked"
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        outcomes = holder["outcomes"]
+        # Conservation: one outcome per scenario, all done, none failed,
+        # every distinct cell executed exactly once across the fleet.
+        assert len(outcomes) == len(scenarios)
+        status = fabric.queue.status()
+        assert status["failed"] == 0 and status["queued"] == 0
+        distinct = {driver_store.key_for_scenario(s) for s in scenarios}
+        assert sum(w.executed for w in workers) == len(distinct)
+        for victim in victims:
+            assert fabric.queue.item(victim.key).state == "done"
+            assert fabric.complete(victim.lease_id) is False  # stale
+
+        # Byte-identity with the serial sweep, scenario by scenario.
+        for s_out, f_out in zip(serial, outcomes):
+            assert _result_bytes(s_out) == _result_bytes(f_out), (
+                f"fuzz_seed={fuzz_seed} scenario={s_out.scenario.name} "
+                f"workers={n_workers} kills={n_kills} backend={backend_kind}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport: server/client round-trips and an end-to-end sweep
+# ---------------------------------------------------------------------------
+
+
+class TestHTTPFabric:
+    @pytest.fixture()
+    def server(self):
+        with FabricServer(port=0, lease_duration_s=60.0) as srv:
+            yield srv
+
+    def test_kv_map_speaks_the_dict_protocol(self, server):
+        kv = HTTPKVMap(server.url)
+        assert "tok/a" not in kv
+        with pytest.raises(KeyError):
+            kv["tok/a"]
+        assert kv.put_if_absent("tok/a", b"first") is True
+        assert kv.put_if_absent("tok/a", b"second") is False
+        assert kv["tok/a"] == b"first"
+        assert "tok/a" in kv
+        kv["tok/a"] = b"replaced"  # __setitem__ is the unconditional write
+        assert kv["tok/a"] == b"replaced"
+        kv["tok/b"] = b"x"
+        assert list(kv.keys()) == ["tok/a", "tok/b"]
+        assert list(kv.keys("tok/a")) == ["tok/a"]
+
+    def test_queue_round_trip_over_http(self, server):
+        client = HTTPFabricClient(server.url)
+        assert client.submit_many([("t/a", b"payload-bytes")]) == 1
+        grant = client.lease("w1")
+        assert grant.key == "t/a" and grant.payload == b"payload-bytes"
+        assert grant.attempt == 1
+        assert client.heartbeat(grant.lease_id) is True
+        assert client.complete(grant.lease_id) is True
+        assert client.complete(grant.lease_id) is False  # already resolved
+        assert client.poll(["t/a"]) == {"done": ["t/a"], "failed": {}, "pending": 0}
+        assert client.lease("w1") is None
+        status = client.status()
+        assert status["done"] == 1 and status["kv_entries"] == 0
+
+    def test_fail_and_mark_done_over_http(self, server):
+        client = HTTPFabricClient(server.url)
+        client.submit_many([("t/a", b"1"), ("t/b", b"2")])
+        grant = client.lease("w1")
+        assert client.fail(grant.lease_id, "boom") is True
+        assert client.mark_done("t/b") is True
+        poll = client.poll(["t/a", "t/b"])
+        assert poll["done"] == ["t/b"] and poll["pending"] == 1
+
+    def test_unknown_endpoints_return_404(self, server):
+        import json
+        import urllib.error
+        import urllib.request
+
+        for method, path in (("GET", "/nope"), ("POST", "/nope"), ("PUT", "/nope")):
+            req = urllib.request.Request(
+                server.url + path,
+                data=b"{}" if method != "GET" else None,
+                method=method,
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 404
+            assert "unknown endpoint" in json.loads(err.value.read())["error"]
+
+    def test_http_sweep_is_byte_identical_to_serial(self, server):
+        scenarios = _scenarios(2)
+        serial = run_batch(scenarios)
+
+        client = HTTPFabricClient(server.url)
+        dispatcher = FabricDispatcher(server.url, poll_interval_s=0.02, timeout_s=120)
+        store = dispatcher.make_store()
+        worker_backend = KVBackend(client.kv_map())
+        stop = threading.Event()
+        workers, threads = _start_workers(client, worker_backend, 2, stop)
+        try:
+            outcomes = dispatcher.run_batch(scenarios, store=store)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        assert [_result_bytes(o) for o in outcomes] == [
+            _result_bytes(o) for o in serial
+        ]
+        assert sum(w.executed for w in workers) == len(scenarios)
+        # Second driver against the same server: pure cache, no workers.
+        second = FabricDispatcher(server.url, timeout_s=60)
+        warm_store = second.make_store()
+        again = second.run_batch(scenarios, store=warm_store)
+        assert [_result_bytes(o) for o in again] == [
+            _result_bytes(o) for o in serial
+        ]
+        assert warm_store.stats.hits == len(scenarios)
+        assert warm_store.stats.misses == 0
+
+    def test_tiered_driver_cache_survives_a_fresh_server(self, tmp_path):
+        """A driver's local tier keeps results when the fabric KV is wiped
+        (server restart): the warm pass needs neither server state nor
+        workers."""
+        scenarios = _scenarios(2)
+        with FabricServer(port=0) as first:
+            dispatcher = FabricDispatcher(first.url, poll_interval_s=0.02, timeout_s=120)
+            store = dispatcher.make_store(cache_dir=str(tmp_path / "cache"))
+            client = HTTPFabricClient(first.url)
+            stop = threading.Event()
+            _, threads = _start_workers(
+                client, KVBackend(client.kv_map()), 2, stop
+            )
+            try:
+                first_pass = dispatcher.run_batch(scenarios, store=store)
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(timeout=10)
+
+        with FabricServer(port=0) as fresh:  # empty KV: a restarted server
+            dispatcher = FabricDispatcher(fresh.url, timeout_s=60)
+            store = dispatcher.make_store(cache_dir=str(tmp_path / "cache"))
+            warm = dispatcher.run_batch(scenarios, store=store)
+            assert fresh.queue.status()["done"] == 0  # nothing re-ran
+        assert [_result_bytes(o) for o in warm] == [
+            _result_bytes(o) for o in first_pass
+        ]

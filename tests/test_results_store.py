@@ -1,8 +1,18 @@
-"""ResultStore semantics: byte-identical hits, invalidation, corruption
-tolerance, and multi-seed aggregation."""
+"""ResultStore semantics over every backend, plus multi-seed aggregation.
+
+The store contract — byte-identical hits, atomic first-write-wins
+stores, invalidation by fingerprint and code token, corruption
+tolerance, :class:`CacheStats` accounting — must hold identically for
+the classic filesystem layout (:class:`LocalFSBackend`), the
+object-store-style :class:`KVBackend`, and the read-through/write-back
+:class:`TieredStore`, so the contract tests here are parametrized over
+all three.  Filesystem-layout specifics and the multi-seed trial
+aggregation keep their dedicated classes.
+"""
 
 import pickle
 import statistics
+import threading
 
 import numpy as np
 import pytest
@@ -14,6 +24,12 @@ from repro.sim.batch import (
     TraceSpec,
     run_batch,
     run_trials,
+)
+from repro.sim.fabric.backends import (
+    KVBackend,
+    LocalFSBackend,
+    StoreBackend,
+    TieredStore,
 )
 from repro.sim.results import ResultStore, code_token
 
@@ -27,9 +43,116 @@ def _scenario(name="Eva", scheduler="eva", seed=0) -> Scenario:
     )
 
 
+BACKEND_KINDS = ("localfs", "kv", "tiered")
+
+
+def make_backend(kind: str, tmp_path) -> StoreBackend:
+    if kind == "localfs":
+        return LocalFSBackend(tmp_path / "fs")
+    if kind == "kv":
+        return KVBackend()
+    return TieredStore(LocalFSBackend(tmp_path / "tier-local"), KVBackend())
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend(request, tmp_path) -> StoreBackend:
+    return make_backend(request.param, tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Raw backend contract (byte level, no store semantics)
+# ---------------------------------------------------------------------------
+
+
+class TestBackendContract:
+    KEY = "aaaabbbbccccdddd/0123456789abcdef"
+
+    def test_get_missing_is_none(self, backend):
+        assert backend.get(self.KEY) is None
+        assert not backend.contains(self.KEY)
+
+    def test_put_if_absent_is_first_write_wins(self, backend):
+        assert backend.put_if_absent(self.KEY, b"first") is True
+        assert backend.put_if_absent(self.KEY, b"second") is False
+        assert backend.get(self.KEY) == b"first"
+        assert backend.contains(self.KEY)
+
+    def test_replace_overwrites_unconditionally(self, backend):
+        backend.put_if_absent(self.KEY, b"old")
+        backend.replace(self.KEY, b"new")
+        assert backend.get(self.KEY) == b"new"
+        # replace also creates missing entries
+        backend.replace("aaaabbbbccccdddd/feedfeedfeedfeed", b"fresh")
+        assert backend.get("aaaabbbbccccdddd/feedfeedfeedfeed") == b"fresh"
+
+    def test_keys_are_sorted_and_prefix_filtered(self, backend):
+        backend.put_if_absent("tok1/fp2", b"a")
+        backend.put_if_absent("tok1/fp1", b"b")
+        backend.put_if_absent("tok2/fp3", b"c")
+        assert list(backend.keys()) == ["tok1/fp1", "tok1/fp2", "tok2/fp3"]
+        assert list(backend.keys("tok1/")) == ["tok1/fp1", "tok1/fp2"]
+        assert list(backend.keys("tok3/")) == []
+
+    def test_concurrent_put_if_absent_has_exactly_one_winner(self, backend):
+        """The duplicate-execution race: N threads publish under one
+        content-addressed key; exactly one write is stored and the
+        surviving bytes are the winner's (all byte-equal in real use)."""
+        verdicts = []
+        barrier = threading.Barrier(8)
+
+        def racer(i: int) -> None:
+            barrier.wait()
+            verdicts.append(backend.put_if_absent(self.KEY, b"payload"))
+
+        threads = [
+            threading.Thread(target=racer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert verdicts.count(True) == 1
+        assert backend.get(self.KEY) == b"payload"
+
+
+class TestTieredStoreSpecifics:
+    def test_remote_hit_writes_back_to_local(self, tmp_path):
+        local = LocalFSBackend(tmp_path / "local")
+        remote = KVBackend()
+        tiered = TieredStore(local, remote)
+        remote.put_if_absent("tok/fp", b"remote-bytes")
+        assert local.get("tok/fp") is None
+        assert tiered.get("tok/fp") == b"remote-bytes"
+        # ... and the read-through populated the local tier.
+        assert local.get("tok/fp") == b"remote-bytes"
+
+    def test_put_publishes_remote_first_and_mirrors(self, tmp_path):
+        local = LocalFSBackend(tmp_path / "local")
+        remote = KVBackend()
+        tiered = TieredStore(local, remote)
+        assert tiered.put_if_absent("tok/fp", b"bytes") is True
+        assert remote.get("tok/fp") == b"bytes"
+        assert local.get("tok/fp") == b"bytes"
+
+    def test_lost_remote_race_mirrors_the_winner(self, tmp_path):
+        local = LocalFSBackend(tmp_path / "local")
+        remote = KVBackend()
+        tiered = TieredStore(local, remote)
+        remote.put_if_absent("tok/fp", b"winner")
+        assert tiered.put_if_absent("tok/fp", b"loser") is False
+        # The local mirror holds the *remote* winner, not our payload.
+        assert local.get("tok/fp") == b"winner"
+        assert tiered.get("tok/fp") == b"winner"
+
+
+# ---------------------------------------------------------------------------
+# Store semantics, parametrized over every backend
+# ---------------------------------------------------------------------------
+
+
 class TestResultStore:
-    def test_cache_hit_is_byte_identical(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_cache_hit_is_byte_identical(self, backend):
+        store = ResultStore(backend=backend)
         scenario = _scenario()
         first = run_batch([scenario], store=store)[0]
         second = run_batch([scenario], store=store)[0]
@@ -37,58 +160,81 @@ class TestResultStore:
         assert pickle.dumps(first.result) == pickle.dumps(second.result)
         assert first == second  # scenario, result, and elapsed all equal
 
-    def test_hit_carries_requested_display_name(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_hit_carries_requested_display_name(self, backend):
+        store = ResultStore(backend=backend)
         run_batch([_scenario(name="First")], store=store)
         hit = store.get(_scenario(name="Second"))
         assert hit is not None
         assert hit.scenario.name == "Second"
 
-    def test_fingerprint_change_invalidates(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_fingerprint_change_invalidates(self, backend):
+        store = ResultStore(backend=backend)
         run_batch([_scenario(seed=0)], store=store)
         assert store.get(_scenario(seed=1)) is None
 
-    def test_code_token_change_invalidates(self, tmp_path):
+    def test_code_token_change_invalidates(self, backend):
         scenario = _scenario()
-        store = ResultStore(tmp_path)
+        store = ResultStore(backend=backend)
         run_batch([scenario], store=store)
         assert store.get(scenario) is not None
 
-        changed_code = ResultStore(tmp_path, token="f" * 64)
+        changed_code = ResultStore(backend=backend, token="f" * 64)
         assert changed_code.get(scenario) is None
         # ... and the two tokens' entries coexist without clobbering.
         run_batch([scenario], store=changed_code)
         assert changed_code.get(scenario) is not None
-        assert ResultStore(tmp_path).get(scenario) is not None
+        assert ResultStore(backend=backend).get(scenario) is not None
 
-    def test_corrupted_entry_is_a_miss_not_fatal(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_corrupted_entry_is_a_miss_not_fatal(self, backend):
+        store = ResultStore(backend=backend)
         scenario = _scenario()
         run_batch([scenario], store=store)
-        [entry] = list((tmp_path / store.token[:16]).glob("*.pkl"))
+        [key] = list(store._entries())
 
-        entry.write_bytes(b"not a pickle")
+        backend.replace(key, b"not a pickle")
         assert store.get(scenario) is None
 
         # A truncated (partially written) pickle is also just a miss.
         good = pickle.dumps({"version": 1})
-        entry.write_bytes(good[: len(good) // 2])
+        backend.replace(key, good[: len(good) // 2])
         assert store.get(scenario) is None
 
         # Wrong payload shape unpickles fine but is rejected.
-        entry.write_bytes(pickle.dumps(["wrong", "shape"]))
+        backend.replace(key, pickle.dumps(["wrong", "shape"]))
         assert store.get(scenario) is None
 
-        # The store recovers by overwriting the bad entry.
+        # The store recovers by overwriting the bad entry (put-if-absent
+        # detects the corrupt occupant and repairs it in place).
         refreshed = run_batch([scenario], store=store)[0]
         assert store.get(scenario) is not None
         assert pickle.dumps(store.get(scenario).result) == pickle.dumps(
             refreshed.result
         )
 
-    def test_uncacheable_scenarios_bypass_the_cache(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_put_is_first_write_wins(self, backend):
+        store = ResultStore(backend=backend)
+        scenario = _scenario()
+        outcome = run_batch([scenario], store=store)[0]
+        assert store.stats.stores == 1
+        # A duplicate execution publishing again does not rewrite (and
+        # does not count a second store).
+        assert store.put(scenario, outcome) is False
+        assert store.stats.stores == 1
+
+    def test_stats_accounting(self, backend):
+        store = ResultStore(backend=backend)
+        run_batch([_scenario()], store=store)  # miss + store
+        run_batch([_scenario()], store=store)  # hit
+        store.probe(_scenario(seed=9))  # miss (probe counts like get)
+        assert store.stats.as_dict() == {
+            "hits": 1,
+            "misses": 2,
+            "stores": 1,
+            "uncacheable": 0,
+        }
+
+    def test_uncacheable_scenarios_bypass_the_cache(self, backend):
+        store = ResultStore(backend=backend)
         scenario = Scenario(
             scheduler="eva",
             trace=TraceSpec.make("small-physical", seed=0),
@@ -100,6 +246,30 @@ class TestResultStore:
         assert store.stats.uncacheable == 1
         assert store.stats.stores == 0
         assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# Filesystem-layout specifics (the classic default backend)
+# ---------------------------------------------------------------------------
+
+
+class TestFilesystemLayout:
+    def test_default_backend_keeps_the_classic_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = _scenario()
+        run_batch([scenario], store=store)
+        [entry] = list((tmp_path / store.token[:16]).glob("*.pkl"))
+        assert entry.name == f"{scenario.fingerprint()}.pkl"
+
+    def test_root_or_backend_is_required(self):
+        with pytest.raises(ValueError, match="root or a backend"):
+            ResultStore()
+
+    def test_bad_keys_are_rejected(self, tmp_path):
+        fs = LocalFSBackend(tmp_path)
+        for bad in ("noslash", "/leading", "trailing/", "a/b/c"):
+            with pytest.raises(ValueError, match="backend keys"):
+                fs.get(bad)
 
     def test_code_token_is_stable_and_hexadecimal(self):
         assert code_token() == code_token()
